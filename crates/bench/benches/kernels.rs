@@ -1,0 +1,114 @@
+//! Kernel microbenchmarks: the primitive operations every experiment is
+//! built from (GEMM, symmetric eigendecomposition, explicit inverse,
+//! im2col, thread-rank allreduce).
+//!
+//! These are the numbers `kfac_cluster::calibrate_host` anchors the
+//! simulator to; run `cargo bench -p kfac-bench --bench kernels` to see
+//! this machine's rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kfac_collectives::{Communicator, ReduceOp, ThreadComm};
+use kfac_nn::im2col::im2col;
+use kfac_tensor::{eigh, invert, Matrix, Rng64, Tensor4};
+use std::time::Duration;
+
+fn random_matrix(r: usize, c: usize, rng: &mut Rng64) -> Matrix {
+    Matrix::from_vec(r, c, (0..r * c).map(|_| rng.normal_f32()).collect())
+}
+
+fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
+    let x = random_matrix(2 * n, n, rng);
+    let mut a = x.gram();
+    a.scale(1.0 / (2 * n) as f32);
+    a.add_diag(0.01);
+    a
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let mut rng = Rng64::new(1);
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    // The K-FAC factor kernel: tall-skinny Gram.
+    let x = random_matrix(2048, 128, &mut rng);
+    group.throughput(Throughput::Elements(2048 * 128 * 128));
+    group.bench_function("gram_2048x128", |bench| {
+        bench.iter(|| std::hint::black_box(x.gram()));
+    });
+    group.finish();
+}
+
+fn bench_eig_and_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("second_order");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    let mut rng = Rng64::new(2);
+    for n in [32usize, 64, 128] {
+        let a = random_spd(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("eigh", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(eigh(&a).expect("converges")));
+        });
+        group.bench_with_input(BenchmarkId::new("invert", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(invert(&a).expect("nonsingular")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let mut rng = Rng64::new(3);
+    let x = Tensor4::from_vec(
+        16,
+        16,
+        16,
+        16,
+        (0..16 * 16 * 16 * 16).map(|_| rng.normal_f32()).collect(),
+    );
+    group.bench_function("3x3_pad1_b16c16s16", |bench| {
+        bench.iter(|| std::hint::black_box(im2col(&x, 3, 1, 1)));
+    });
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for ranks in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("thread_comm_64k_floats", ranks),
+            &ranks,
+            |bench, &ranks| {
+                bench.iter(|| {
+                    let comms = ThreadComm::create(ranks);
+                    std::thread::scope(|s| {
+                        for comm in &comms {
+                            s.spawn(move || {
+                                let mut buf = vec![1.0f32; 65536];
+                                comm.allreduce(&mut buf, ReduceOp::Average);
+                                std::hint::black_box(buf[0]);
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_eig_and_inverse,
+    bench_im2col,
+    bench_allreduce
+);
+criterion_main!(benches);

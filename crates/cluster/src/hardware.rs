@@ -1,0 +1,197 @@
+//! Hardware parameters for the analytic cluster model.
+//!
+//! The paper's testbed is the Frontera GPU subsystem: 4 × V100 per node,
+//! InfiniBand EDR shared per node (§VI-A). No GPUs exist here, so the
+//! simulator is **calibrated against the paper's own published
+//! measurements** at a single anchor point — ResNet-50 on 16–64 GPUs
+//! (Table III iteration times, Table V stage profiles) — and everything
+//! else (other models, other scales, other strategies) is prediction:
+//!
+//! * `gemm_flops` reproduces Table III's SGD iteration times together
+//!   with `framework_overhead_s` (data loading, BatchNorm, launch
+//!   overhead — the fixed cost that makes deeper ResNets sub-linearly
+//!   slower in the paper's own numbers).
+//! * `eig_flops` reproduces Table V's eigendecomposition stage (~2.26 s
+//!   for ResNet-50 @16 GPUs) given the real factor inventory and the
+//!   real round-robin placement.
+//! * the interconnect β reproduces Table V's factor/eig communication
+//!   rows (effective ~6.5 GB/s per rank — EDR shared across 4 GPUs).
+//! * `factor_anchor_s`/`factor_exponent` encode the paper's measured
+//!   factor-computation times (36.8 → 125 → 218 ms for ResNet-50/101/152,
+//!   Table V & Fig. 10): a power law in total factor FLOPs with exponent
+//!   1.754 fits all three within 18% — the super-linear growth §VI-C4
+//!   attributes to the increasingly memory-bound patch extraction.
+//! * `precond_anchor_s`/`precond_exponent` encode the per-iteration
+//!   preconditioning overhead implied by Table III's K-FAC vs SGD
+//!   iteration-time residuals after removing the amortized Table V
+//!   stages (24 → 71 → 157 ms for ResNet-50/101/152): a power law in
+//!   K-FAC layer count with exponent 1.85 — per-layer kernel-launch
+//!   serialization compounding with depth.
+
+use kfac_collectives::LinkSpec;
+
+/// Per-GPU rates and calibrated overhead laws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Sustained FP32 GEMM throughput for conv/linear forward/backward,
+    /// FLOP/s.
+    pub gemm_flops: f64,
+    /// Effective throughput for dense symmetric eigendecomposition
+    /// (9·n³ convention), FLOP/s.
+    pub eig_flops: f64,
+    /// Fixed per-iteration framework cost (I/O, BatchNorm, launches), s.
+    pub framework_overhead_s: f64,
+    /// Factor-computation time for the ResNet-50 anchor at per-GPU
+    /// batch 32, seconds.
+    pub factor_anchor_s: f64,
+    /// Power-law exponent of factor time in total factor FLOPs.
+    pub factor_exponent: f64,
+    /// Preconditioning time for the ResNet-50 anchor (54 K-FAC layers),
+    /// seconds per iteration.
+    pub precond_anchor_s: f64,
+    /// Power-law exponent of preconditioning time in K-FAC layer count.
+    pub precond_exponent: f64,
+}
+
+impl GpuSpec {
+    /// V100 constants calibrated to the paper (see module docs).
+    pub fn v100() -> Self {
+        GpuSpec {
+            gemm_flops: 9.0e12,
+            eig_flops: 0.55e12,
+            framework_overhead_s: 0.050,
+            factor_anchor_s: 0.03683,
+            factor_exponent: 1.754,
+            precond_anchor_s: 0.024,
+            precond_exponent: 1.85,
+        }
+    }
+}
+
+/// A homogeneous GPU cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Total GPU count (the paper sweeps 16–256).
+    pub gpus: usize,
+    /// Interconnect α/β parameters (per-rank effective).
+    pub link: LinkSpec,
+    /// Per-GPU rates.
+    pub gpu: GpuSpec,
+}
+
+impl ClusterSpec {
+    /// Frontera-like cluster: V100 rates, EDR InfiniBand shared by the
+    /// 4 GPUs of a node → ~6.5 GB/s effective per-rank bandwidth
+    /// (calibrated to Table V's communication rows).
+    pub fn frontera(gpus: usize) -> Self {
+        ClusterSpec {
+            gpus,
+            link: LinkSpec {
+                alpha_s: 5.0e-6,
+                beta_s_per_byte: 1.0 / 6.5e9,
+            },
+            gpu: GpuSpec::v100(),
+        }
+    }
+}
+
+/// Measure this host's actual kernel rates so simulator constants can be
+/// anchored to local reality (used by the calibration bench; the default
+/// experiments use [`GpuSpec::v100`] so results are machine-independent).
+/// Host anchors use exponent 1.0 (pure FLOP proportionality) since the
+/// paper's memory-hierarchy effects are GPU-specific.
+pub fn calibrate_host() -> GpuSpec {
+    use kfac_tensor::{eigh, Matrix, Rng64};
+    use std::time::Instant;
+
+    let mut rng = Rng64::new(1);
+
+    // GEMM rate: 256×256×256 product.
+    let n = 256;
+    let a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.normal_f32()).collect());
+    let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.normal_f32()).collect());
+    let t0 = Instant::now();
+    let reps = 4;
+    for _ in 0..reps {
+        std::hint::black_box(a.matmul(&b));
+    }
+    let gemm = (reps * 2 * n * n * n) as f64 / t0.elapsed().as_secs_f64();
+
+    // Gram rate (factor computation pattern): 2048×128 → 128×128.
+    let rows = 2048;
+    let cols = 128;
+    let x = Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.normal_f32()).collect(),
+    );
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(x.gram());
+    }
+    let gram = (reps * rows * cols * cols) as f64 / t1.elapsed().as_secs_f64();
+
+    // Eig rate: 96×96 symmetric eigendecomposition (9n³ convention).
+    let m = 96;
+    let mut s = x.gram();
+    s.scale(1.0 / rows as f32);
+    let small = {
+        let mut t = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                t[(i, j)] = s[(i, j)];
+            }
+        }
+        t
+    };
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(eigh(&small).expect("calibration eig"));
+    }
+    let eig = (reps * 9 * m * m * m) as f64 / t2.elapsed().as_secs_f64();
+
+    // Express the anchors through the measured rates and the ResNet-50
+    // reference workload.
+    let (r50_factor_flops, _r50_layers) = crate::profile::resnet50_reference();
+    GpuSpec {
+        gemm_flops: gemm,
+        eig_flops: eig,
+        framework_overhead_s: 0.0,
+        factor_anchor_s: 32.0 * r50_factor_flops / gram,
+        factor_exponent: 1.0,
+        precond_anchor_s: crate::profile::resnet50_precond_flops() / gemm,
+        precond_exponent: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_rate_ordering() {
+        let g = GpuSpec::v100();
+        assert!(g.gemm_flops > g.eig_flops);
+        assert!(g.factor_exponent > 1.0, "super-linear factor growth");
+        assert!(g.precond_exponent > 1.0, "super-linear precond growth");
+    }
+
+    #[test]
+    fn frontera_preset() {
+        let c = ClusterSpec::frontera(64);
+        assert_eq!(c.gpus, 64);
+        assert!(c.link.alpha_s > 0.0);
+        // Effective bandwidth between 1 and 12.5 GB/s (shared EDR).
+        let bw = 1.0 / c.link.beta_s_per_byte;
+        assert!(bw > 1e9 && bw < 12.5e9);
+    }
+
+    #[test]
+    fn host_calibration_produces_sane_rates() {
+        let g = calibrate_host();
+        for rate in [g.gemm_flops, g.eig_flops] {
+            assert!(rate > 1e7 && rate < 1e13, "rate {rate}");
+        }
+        assert!(g.factor_anchor_s > 0.0 && g.precond_anchor_s > 0.0);
+    }
+}

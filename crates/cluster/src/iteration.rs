@@ -1,0 +1,417 @@
+//! Per-iteration time model — the paper's Figure-1 pipeline, priced.
+//!
+//! §VI-C4 explains observed scaling with the five-step decomposition
+//! `T_io, T_f, T_e, T_x, T_u` and assumes "these steps are performed in
+//! sequential order without any pipeline parallelism"; we adopt the same
+//! assumption. K-FAC adds to `T_e`:
+//!
+//! * **factor computation** — constant in GPU count (Table V), priced by
+//!   the calibrated power law of [`GpuSpec`](crate::hardware::GpuSpec);
+//! * **eigendecomposition** — bounded by the slowest worker (Table VI),
+//!   computed from the *real* placement code over the *real* factor
+//!   inventory;
+//! * **preconditioning** — every iteration, priced by the calibrated
+//!   depth power law;
+//!
+//! each amortized over its update interval. K-FAC-lw differs exactly as
+//! §VI-C3 describes: layer-granularity placement (half the utilization)
+//! and per-layer preconditioned-gradient exchange *every* iteration.
+
+use crate::hardware::ClusterSpec;
+use crate::profile::{resnet50_reference, ModelProfile};
+use kfac::distribution::{assign_factors, assign_layers_lw, per_rank_cost};
+use kfac::PlacementPolicy;
+
+/// K-FAC amortization and distribution knobs for the model.
+#[derive(Debug, Clone, Copy)]
+pub struct KfacRunConfig {
+    /// Iterations between second-order (eig) updates.
+    pub update_freq: usize,
+    /// Factor updates happen this many times per eig update (paper: 10).
+    pub factor_freq_multiplier: usize,
+    /// Placement policy for K-FAC-opt.
+    pub placement: PlacementPolicy,
+}
+
+impl KfacRunConfig {
+    /// Paper defaults with a given update frequency.
+    pub fn with_freq(update_freq: usize) -> Self {
+        KfacRunConfig {
+            update_freq,
+            factor_freq_multiplier: 10,
+            placement: PlacementPolicy::RoundRobin,
+        }
+    }
+
+    /// Iterations between factor updates.
+    pub fn factor_interval(&self) -> usize {
+        (self.update_freq / self.factor_freq_multiplier).max(1)
+    }
+}
+
+/// One iteration's priced stages, seconds. All times are per-iteration
+/// *averages*: K-FAC stage costs are divided by their update intervals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    /// Forward compute.
+    pub fwd: f64,
+    /// Backward compute (gradient evaluation).
+    pub bwd: f64,
+    /// Fixed framework overhead (I/O, BatchNorm, launch costs).
+    pub framework: f64,
+    /// Gradient allreduce.
+    pub grad_comm: f64,
+    /// Factor computation, amortized.
+    pub factor_comp: f64,
+    /// Factor allreduce, amortized.
+    pub factor_comm: f64,
+    /// Eigendecomposition makespan, amortized.
+    pub eig_comp: f64,
+    /// Eigendecomposition allgather, amortized.
+    pub eig_comm: f64,
+    /// Gradient preconditioning (plus, for K-FAC-lw, the per-iteration
+    /// preconditioned-gradient exchange).
+    pub precond: f64,
+}
+
+impl StageTimes {
+    /// Total iteration time.
+    pub fn total(&self) -> f64 {
+        self.fwd
+            + self.bwd
+            + self.framework
+            + self.grad_comm
+            + self.factor_comp
+            + self.factor_comm
+            + self.eig_comp
+            + self.eig_comm
+            + self.precond
+    }
+}
+
+/// The iteration model for one (model, cluster, local-batch) triple.
+#[derive(Debug, Clone)]
+pub struct IterationModel {
+    /// Model being trained.
+    pub profile: ModelProfile,
+    /// Cluster it runs on.
+    pub cluster: ClusterSpec,
+    /// Per-GPU mini-batch (paper: 32).
+    pub local_batch: usize,
+}
+
+impl IterationModel {
+    /// Create the model.
+    pub fn new(profile: ModelProfile, cluster: ClusterSpec, local_batch: usize) -> Self {
+        IterationModel {
+            profile,
+            cluster,
+            local_batch,
+        }
+    }
+
+    fn fwd_s(&self) -> f64 {
+        self.local_batch as f64 * self.profile.fwd_flops as f64 / self.cluster.gpu.gemm_flops
+    }
+
+    /// Backward ≈ 2× forward (two GEMMs per layer vs one).
+    fn bwd_s(&self) -> f64 {
+        2.0 * self.fwd_s()
+    }
+
+    fn grad_comm_s(&self) -> f64 {
+        self.cluster
+            .link
+            .allreduce_s(self.profile.grad_bytes(), self.cluster.gpus)
+    }
+
+    /// Un-amortized factor-stage times `(comp, comm)` for one factor
+    /// update — the quantities Table V reports directly. Computation
+    /// follows the calibrated power law in total factor FLOPs; it is
+    /// constant in GPU count (each rank processes its own local batch).
+    pub fn factor_stage_s(&self) -> (f64, f64) {
+        let gpu = &self.cluster.gpu;
+        let (anchor_flops, _) = resnet50_reference();
+        let ratio = self.profile.factor_flops as f64 / anchor_flops;
+        let comp = gpu.factor_anchor_s
+            * (self.local_batch as f64 / 32.0)
+            * ratio.powf(gpu.factor_exponent);
+        let comm = self
+            .cluster
+            .link
+            .allreduce_s(self.profile.factor_bytes(), self.cluster.gpus);
+        (comp, comm)
+    }
+
+    /// Un-amortized eig-stage times `(comp_makespan, comm)` for one
+    /// second-order update under K-FAC-opt with the given placement —
+    /// Table V's other half.
+    pub fn eig_stage_s(&self, placement: PlacementPolicy) -> (f64, f64) {
+        let world = self.cluster.gpus;
+        let assignment = assign_factors(placement, &self.profile.factors, world);
+        let makespan_flops =
+            9 * kfac::distribution::makespan(&self.profile.factors, &assignment, world);
+        let comp = makespan_flops as f64 / self.cluster.gpu.eig_flops;
+        let comm = self
+            .cluster
+            .link
+            .allgather_s(self.profile.eig_bytes(), world);
+        (comp, comm)
+    }
+
+    /// Per-rank eigendecomposition times for one update (Table VI's
+    /// underlying distribution). Each assigned factor also pays a fixed
+    /// per-decomposition launch overhead, which keeps the fastest-worker
+    /// time from collapsing to zero (the paper's fastest workers speed up
+    /// 6–8×, not ∞, between 16 and 64 GPUs).
+    pub fn eig_worker_times_s(&self, placement: PlacementPolicy) -> Vec<f64> {
+        const PER_FACTOR_OVERHEAD_S: f64 = 0.5e-3;
+        let world = self.cluster.gpus;
+        let assignment = assign_factors(placement, &self.profile.factors, world);
+        let mut counts = vec![0usize; world];
+        for f in &self.profile.factors {
+            counts[assignment[f.id]] += 1;
+        }
+        per_rank_cost(&self.profile.factors, &assignment, world)
+            .into_iter()
+            .zip(counts)
+            .map(|(load, n)| {
+                9.0 * load as f64 / self.cluster.gpu.eig_flops
+                    + n as f64 * PER_FACTOR_OVERHEAD_S
+            })
+            .collect()
+    }
+
+    /// Per-iteration local preconditioning cost: the calibrated depth
+    /// power law over `layers` K-FAC layers.
+    fn precond_s(&self, layers: usize) -> f64 {
+        if layers == 0 {
+            return 0.0;
+        }
+        let gpu = &self.cluster.gpu;
+        let (_, anchor_layers) = resnet50_reference();
+        gpu.precond_anchor_s
+            * (layers as f64 / anchor_layers as f64).powf(gpu.precond_exponent)
+    }
+
+    /// SGD iteration (Fig. 1 with no preconditioning).
+    pub fn sgd_iteration(&self) -> StageTimes {
+        StageTimes {
+            fwd: self.fwd_s(),
+            bwd: self.bwd_s(),
+            framework: self.cluster.gpu.framework_overhead_s,
+            grad_comm: self.grad_comm_s(),
+            ..StageTimes::default()
+        }
+    }
+
+    /// K-FAC-opt iteration: stage costs amortized over their intervals;
+    /// preconditioning local (every iteration, no communication).
+    pub fn kfac_opt_iteration(&self, cfg: KfacRunConfig) -> StageTimes {
+        let (fc, fx) = self.factor_stage_s();
+        let (ec, ex) = self.eig_stage_s(cfg.placement);
+        let fi = cfg.factor_interval() as f64;
+        let ei = cfg.update_freq as f64;
+        StageTimes {
+            fwd: self.fwd_s(),
+            bwd: self.bwd_s(),
+            framework: self.cluster.gpu.framework_overhead_s,
+            grad_comm: self.grad_comm_s(),
+            factor_comp: fc / fi,
+            factor_comm: fx / fi,
+            eig_comp: ec / ei,
+            eig_comm: ex / ei,
+            precond: self.precond_s(self.profile.layer_dims.len()),
+        }
+    }
+
+    /// K-FAC-lw iteration (Osawa et al. \[6\] scheme): layer-granularity
+    /// placement, and per-layer preconditioned-gradient broadcasts
+    /// **every iteration**.
+    pub fn kfac_lw_iteration(&self, cfg: KfacRunConfig) -> StageTimes {
+        let world = self.cluster.gpus;
+        let n_layers = self.profile.layer_dims.len();
+        let (fc, fx) = self.factor_stage_s();
+
+        // Layer-granularity eig makespan: the owner decomposes both of a
+        // layer's factors — half the work granularity of K-FAC-opt.
+        let owners = assign_layers_lw(n_layers, world);
+        let mut load = vec![0u64; world];
+        for (li, &(da, dg)) in self.profile.layer_dims.iter().enumerate() {
+            load[owners[li]] += 9 * ((da as u64).pow(3) + (dg as u64).pow(3));
+        }
+        let eig_makespan =
+            *load.iter().max().expect("nonempty") as f64 / self.cluster.gpu.eig_flops;
+
+        // Owners precondition only their own layers (≤ ⌈L/p⌉ of them)…
+        let layers_per_rank = n_layers.div_ceil(world);
+        let precond_comp = self.precond_s(layers_per_rank);
+        // …then each layer's result is broadcast: the full preconditioned
+        // gradient payload crosses the wire, plus a per-layer collective
+        // launch/pipeline latency (L separate unfused ops).
+        let per_op_latency = 150.0e-6 + world as f64 * 2.5e-6;
+        let precond_comm = self.profile.grad_bytes() as f64
+            * self.cluster.link.beta_s_per_byte
+            + n_layers as f64 * per_op_latency;
+
+        let fi = cfg.factor_interval() as f64;
+        let ei = cfg.update_freq as f64;
+        StageTimes {
+            fwd: self.fwd_s(),
+            bwd: self.bwd_s(),
+            framework: self.cluster.gpu.framework_overhead_s,
+            grad_comm: self.grad_comm_s(),
+            factor_comp: fc / fi,
+            factor_comm: fx / fi,
+            eig_comp: eig_makespan / ei,
+            eig_comm: 0.0, // results stay on the owner
+            precond: precond_comp + precond_comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ClusterSpec;
+    use crate::profile::ModelProfile;
+    use kfac_nn::arch::{resnet101, resnet152, resnet50};
+
+    fn model_at(gpus: usize) -> IterationModel {
+        IterationModel::new(
+            ModelProfile::from_arch(&resnet50()),
+            ClusterSpec::frontera(gpus),
+            32,
+        )
+    }
+
+    #[test]
+    fn factor_comp_constant_in_gpu_count() {
+        // Table V: factor Tcomp ≈ constant across 16/32/64 GPUs.
+        let (c16, _) = model_at(16).factor_stage_s();
+        let (c64, _) = model_at(64).factor_stage_s();
+        assert!((c16 - c64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_comp_matches_paper_anchor_and_trend() {
+        // Calibration anchor: R50 @batch 32 ≈ 36.8 ms; the power law must
+        // reproduce the super-linear growth (paper: 125 ms R101, 218 ms
+        // R152; the law predicts within ~20%).
+        let (c50, _) = model_at(16).factor_stage_s();
+        assert!((c50 * 1e3 - 36.83).abs() < 0.5, "{}", c50 * 1e3);
+        let c101 = IterationModel::new(
+            ModelProfile::from_arch(&resnet101()),
+            ClusterSpec::frontera(16),
+            32,
+        )
+        .factor_stage_s()
+        .0;
+        let c152 = IterationModel::new(
+            ModelProfile::from_arch(&resnet152()),
+            ClusterSpec::frontera(16),
+            32,
+        )
+        .factor_stage_s()
+        .0;
+        assert!((c101 * 1e3 - 125.23).abs() < 25.0, "{}", c101 * 1e3);
+        assert!((c152 * 1e3 - 218.36).abs() < 45.0, "{}", c152 * 1e3);
+    }
+
+    #[test]
+    fn eig_stage_magnitude_matches_table_v() {
+        // Paper: R50 @16 eig comp 2256 ms. Ours must land in the same
+        // ballpark (the makespan comes from the real placement).
+        let (e16, _) = model_at(16).eig_stage_s(PlacementPolicy::RoundRobin);
+        assert!(
+            (1.2..3.5).contains(&e16),
+            "eig stage {e16}s out of Table V ballpark"
+        );
+    }
+
+    #[test]
+    fn eig_makespan_shrinks_sublinearly() {
+        let (e16, _) = model_at(16).eig_stage_s(PlacementPolicy::RoundRobin);
+        let (e64, _) = model_at(64).eig_stage_s(PlacementPolicy::RoundRobin);
+        assert!(e64 < e16, "more workers must not be slower");
+        assert!(
+            e16 / e64 < 4.0,
+            "speedup {:.2} must be sublinear in 4× workers",
+            e16 / e64
+        );
+    }
+
+    #[test]
+    fn worker_imbalance_matches_table_vi_shape() {
+        let t16 = model_at(16).eig_worker_times_s(PlacementPolicy::RoundRobin);
+        let t64 = model_at(64).eig_worker_times_s(PlacementPolicy::RoundRobin);
+        let fastest_speedup = t16.iter().cloned().fold(f64::MAX, f64::min)
+            / t64.iter().cloned().fold(f64::MAX, f64::min);
+        let slowest_speedup = t16.iter().cloned().fold(0.0, f64::max)
+            / t64.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            fastest_speedup > slowest_speedup,
+            "fast workers speed up more ({fastest_speedup:.2}x vs {slowest_speedup:.2}x)"
+        );
+        assert!(slowest_speedup < 2.5, "slowest worker barely improves");
+    }
+
+    #[test]
+    fn lpt_placement_reduces_makespan() {
+        let m = model_at(64);
+        let (rr, _) = m.eig_stage_s(PlacementPolicy::RoundRobin);
+        let (lpt, _) = m.eig_stage_s(PlacementPolicy::SizeBalanced);
+        assert!(lpt <= rr);
+    }
+
+    #[test]
+    fn opt_beats_lw_beats_neither_per_iteration() {
+        // Fig. 7's per-iteration ordering at 64 GPUs with the paper's
+        // interval (500 at 64 GPUs): opt cheapest K-FAC variant.
+        let m = model_at(64);
+        let cfg = KfacRunConfig::with_freq(500);
+        let opt = m.kfac_opt_iteration(cfg).total();
+        let lw = m.kfac_lw_iteration(cfg).total();
+        let sgd = m.sgd_iteration().total();
+        assert!(opt < lw, "opt {opt} must beat lw {lw}");
+        assert!(sgd < opt, "per-iteration SGD is cheapest: {sgd} vs {opt}");
+        // K-FAC wins overall because 55 epochs beat 90: the per-iteration
+        // overhead must stay under the 90/55 budget.
+        assert!(opt / sgd < 90.0 / 55.0, "opt {opt} vs sgd {sgd}");
+    }
+
+    #[test]
+    fn infrequent_updates_reduce_overhead() {
+        // Table III: larger interval → cheaper iterations.
+        let m = model_at(64);
+        let t100 = m.kfac_opt_iteration(KfacRunConfig::with_freq(100)).total();
+        let t500 = m.kfac_opt_iteration(KfacRunConfig::with_freq(500)).total();
+        let t1000 = m.kfac_opt_iteration(KfacRunConfig::with_freq(1000)).total();
+        assert!(t100 > t500 && t500 > t1000);
+    }
+
+    #[test]
+    fn deeper_model_pays_more_for_factors() {
+        // Fig. 10: factor time grows super-linearly in model size.
+        let p50 = IterationModel::new(
+            ModelProfile::from_arch(&resnet50()),
+            ClusterSpec::frontera(16),
+            32,
+        );
+        let p152 = IterationModel::new(
+            ModelProfile::from_arch(&resnet152()),
+            ClusterSpec::frontera(16),
+            32,
+        );
+        let (c50, _) = p50.factor_stage_s();
+        let (c152, _) = p152.factor_stage_s();
+        let flop_ratio =
+            p152.profile.factor_flops as f64 / p50.profile.factor_flops as f64;
+        assert!(
+            c152 / c50 > flop_ratio,
+            "time ratio {:.2} must exceed FLOP ratio {:.2} (super-linear)",
+            c152 / c50,
+            flop_ratio
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! The collective-communication interface.
+//!
+//! Mirrors the primitive set Horovod exposes to PyTorch (§II-D of the
+//! paper): `allreduce`, `allgather`, `broadcast`, with MPI `rank`/`size`
+//! identity. All implementations require that every rank issues the same
+//! sequence of collective calls (the standard MPI/Horovod contract);
+//! violating it deadlocks, exactly as it would on the real stack.
+
+use crate::traffic::{Traffic, TrafficClass};
+
+/// Reduction applied by [`Communicator::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum across ranks.
+    Sum,
+    /// Element-wise mean across ranks — the op used for gradient and
+    /// factor averaging in the paper (Eq. 1, Algorithm 1 lines 4 & 8).
+    Average,
+    /// Element-wise maximum across ranks (used for diagnostics).
+    Max,
+}
+
+/// A participant in a fixed-size group of synchronous workers.
+///
+/// One `Communicator` value belongs to exactly one rank; collectives block
+/// until every rank in the group has made the matching call.
+pub trait Communicator: Send {
+    /// This worker's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the group.
+    fn size(&self) -> usize;
+
+    /// In-place collective reduction of `buf` across all ranks, recording
+    /// the bytes under `class` for the communication analysis of §IV-C.
+    ///
+    /// All ranks must pass buffers of identical length. On return every
+    /// rank's `buf` holds the reduced result.
+    fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass);
+
+    /// Gather each rank's payload on every rank, recording bytes under
+    /// `class`.
+    ///
+    /// Payload lengths may differ across ranks (Horovod's allgather
+    /// likewise only requires matching trailing dimensions): the result is
+    /// indexed by rank. Used to exchange eigendecompositions in
+    /// Algorithm 1 line 18, where ranks own different numbers of factors.
+    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>>;
+
+    /// Broadcast `buf` from `root` to all ranks in place, recording bytes
+    /// under `class`.
+    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass);
+
+    /// [`allreduce_tagged`](Communicator::allreduce_tagged) with class
+    /// [`TrafficClass::Other`].
+    fn allreduce(&self, buf: &mut [f32], op: ReduceOp) {
+        self.allreduce_tagged(buf, op, TrafficClass::Other);
+    }
+
+    /// [`allgather_tagged`](Communicator::allgather_tagged) with class
+    /// [`TrafficClass::Other`].
+    fn allgather(&self, payload: &[f32]) -> Vec<Vec<f32>> {
+        self.allgather_tagged(payload, TrafficClass::Other)
+    }
+
+    /// [`broadcast_tagged`](Communicator::broadcast_tagged) with class
+    /// [`TrafficClass::Other`].
+    fn broadcast(&self, buf: &mut [f32], root: usize) {
+        self.broadcast_tagged(buf, root, TrafficClass::Other);
+    }
+
+    /// Block until every rank reaches the barrier.
+    fn barrier(&self);
+
+    /// Cumulative communication accounting for this rank.
+    fn traffic(&self) -> Traffic {
+        Traffic::default()
+    }
+}
+
+/// Apply `op`'s elementwise combine step: `acc[i] = combine(acc[i], x[i])`.
+pub(crate) fn combine_into(acc: &mut [f32], x: &[f32], op: ReduceOp) {
+    debug_assert_eq!(acc.len(), x.len());
+    match op {
+        ReduceOp::Sum | ReduceOp::Average => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a += b;
+            }
+        }
+        ReduceOp::Max => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a = a.max(b);
+            }
+        }
+    }
+}
+
+/// Apply the finalization step of `op` after all ranks contributed.
+pub(crate) fn finalize(acc: &mut [f32], op: ReduceOp, size: usize) {
+    if op == ReduceOp::Average {
+        let inv = 1.0 / size as f32;
+        for a in acc {
+            *a *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_sum() {
+        let mut acc = vec![1.0, 2.0];
+        combine_into(&mut acc, &[3.0, -1.0], ReduceOp::Sum);
+        assert_eq!(acc, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn combine_max() {
+        let mut acc = vec![1.0, 5.0];
+        combine_into(&mut acc, &[3.0, -1.0], ReduceOp::Max);
+        assert_eq!(acc, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn finalize_average_divides() {
+        let mut acc = vec![8.0, 4.0];
+        finalize(&mut acc, ReduceOp::Average, 4);
+        assert_eq!(acc, vec![2.0, 1.0]);
+        let mut acc2 = vec![8.0];
+        finalize(&mut acc2, ReduceOp::Sum, 4);
+        assert_eq!(acc2, vec![8.0]);
+    }
+}

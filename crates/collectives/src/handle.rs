@@ -1,0 +1,199 @@
+//! Deferred-completion operation handles.
+//!
+//! Horovod registers communication ops during the backward pass and
+//! completes them at `optimizer.synchronize()` (§V-A: "handles are
+//! registered to communication operations … and wait to do the
+//! communication in batches"). [`OpQueue`] reproduces that pattern: ops are
+//! enqueued with [`OpQueue::enqueue_allreduce`], nothing is communicated
+//! until [`OpQueue::synchronize`], at which point all queued ops execute
+//! (in enqueue order) and results are handed back by handle.
+//!
+//! Inside one process there is no true async progress engine; deferral is
+//! the semantically relevant part (it changes *when* ranks rendezvous), and
+//! that is preserved exactly.
+
+use crate::communicator::{Communicator, ReduceOp};
+use crate::traffic::TrafficClass;
+use std::collections::HashMap;
+
+/// Identifies a queued operation; redeem at [`OpQueue::take`] after
+/// [`OpQueue::synchronize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpHandle(u64);
+
+enum QueuedOp {
+    AllReduce {
+        data: Vec<f32>,
+        op: ReduceOp,
+        class: TrafficClass,
+    },
+    AllGather {
+        data: Vec<f32>,
+        class: TrafficClass,
+    },
+}
+
+/// Result of a completed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpResult {
+    /// Reduced buffer from an allreduce.
+    Reduced(Vec<f32>),
+    /// Per-rank payloads from an allgather.
+    Gathered(Vec<Vec<f32>>),
+}
+
+impl OpResult {
+    /// Unwrap an allreduce result.
+    pub fn into_reduced(self) -> Vec<f32> {
+        match self {
+            OpResult::Reduced(v) => v,
+            OpResult::Gathered(_) => panic!("expected allreduce result, got allgather"),
+        }
+    }
+
+    /// Unwrap an allgather result.
+    pub fn into_gathered(self) -> Vec<Vec<f32>> {
+        match self {
+            OpResult::Gathered(v) => v,
+            OpResult::Reduced(_) => panic!("expected allgather result, got allreduce"),
+        }
+    }
+}
+
+/// Queue of deferred collective operations for one rank.
+#[derive(Default)]
+pub struct OpQueue {
+    next: u64,
+    queued: Vec<(OpHandle, QueuedOp)>,
+    completed: HashMap<OpHandle, OpResult>,
+}
+
+impl OpQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an allreduce; returns the handle to redeem later.
+    pub fn enqueue_allreduce(
+        &mut self,
+        data: Vec<f32>,
+        op: ReduceOp,
+        class: TrafficClass,
+    ) -> OpHandle {
+        let h = OpHandle(self.next);
+        self.next += 1;
+        self.queued.push((h, QueuedOp::AllReduce { data, op, class }));
+        h
+    }
+
+    /// Queue an allgather; returns the handle to redeem later.
+    pub fn enqueue_allgather(&mut self, data: Vec<f32>, class: TrafficClass) -> OpHandle {
+        let h = OpHandle(self.next);
+        self.next += 1;
+        self.queued.push((h, QueuedOp::AllGather { data, class }));
+        h
+    }
+
+    /// Number of queued, not-yet-executed ops.
+    pub fn pending(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Execute every queued op, in order, against `comm`.
+    ///
+    /// All ranks must have queued the same op sequence (the Horovod
+    /// contract); the underlying communicator enforces this.
+    pub fn synchronize(&mut self, comm: &dyn Communicator) {
+        for (h, op) in self.queued.drain(..) {
+            let result = match op {
+                QueuedOp::AllReduce {
+                    mut data,
+                    op,
+                    class,
+                } => {
+                    comm.allreduce_tagged(&mut data, op, class);
+                    OpResult::Reduced(data)
+                }
+                QueuedOp::AllGather { data, class } => {
+                    OpResult::Gathered(comm.allgather_tagged(&data, class))
+                }
+            };
+            self.completed.insert(h, result);
+        }
+    }
+
+    /// Redeem a completed handle.
+    ///
+    /// # Panics
+    /// Panics if the handle was never queued or `synchronize` has not run.
+    pub fn take(&mut self, h: OpHandle) -> OpResult {
+        self.completed
+            .remove(&h)
+            .expect("handle not completed; call synchronize() first")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalComm;
+    use crate::thread::ThreadComm;
+    use std::thread;
+
+    #[test]
+    fn deferred_until_synchronize() {
+        let comm = LocalComm::new();
+        let mut q = OpQueue::new();
+        let h = q.enqueue_allreduce(vec![1.0, 2.0], ReduceOp::Sum, TrafficClass::Gradient);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(comm.traffic().ops, 0, "no communication before synchronize");
+        q.synchronize(&comm);
+        assert_eq!(comm.traffic().ops, 1);
+        assert_eq!(q.take(h).into_reduced(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "handle not completed")]
+    fn take_before_synchronize_panics() {
+        let mut q = OpQueue::new();
+        let h = q.enqueue_allreduce(vec![1.0], ReduceOp::Sum, TrafficClass::Gradient);
+        let _ = q.take(h);
+    }
+
+    #[test]
+    fn multi_rank_batched_ops() {
+        let comms = ThreadComm::create(2);
+        let f = |rank: usize, comm: &ThreadComm| {
+            let mut q = OpQueue::new();
+            let h1 =
+                q.enqueue_allreduce(vec![rank as f32], ReduceOp::Sum, TrafficClass::Gradient);
+            let h2 = q.enqueue_allgather(vec![rank as f32 * 2.0], TrafficClass::Eigen);
+            q.synchronize(comm);
+            (q.take(h1).into_reduced(), q.take(h2).into_gathered())
+        };
+        let results: Vec<_> = thread::scope(|s| {
+            let hs: Vec<_> = comms
+                .iter()
+                .enumerate()
+                .map(|(rank, comm)| s.spawn(move || f(rank, comm)))
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (reduced, gathered) in results {
+            assert_eq!(reduced, vec![1.0]);
+            assert_eq!(gathered, vec![vec![0.0], vec![2.0]]);
+        }
+    }
+
+    #[test]
+    fn result_kind_mismatch_panics() {
+        let comm = LocalComm::new();
+        let mut q = OpQueue::new();
+        let h = q.enqueue_allgather(vec![1.0], TrafficClass::Eigen);
+        q.synchronize(&comm);
+        let r = q.take(h);
+        let panicked = std::panic::catch_unwind(move || r.into_reduced());
+        assert!(panicked.is_err());
+    }
+}

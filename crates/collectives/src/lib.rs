@@ -1,0 +1,45 @@
+//! # kfac-collectives
+//!
+//! Horovod-like collective-communication substrate for the `kfac-rs`
+//! reproduction of *Convolutional Neural Network Training with Distributed
+//! K-FAC* (Pauloski et al., SC 2020).
+//!
+//! The paper's distributed K-FAC (Algorithm 1) is expressed entirely in
+//! terms of the three primitives Horovod exposes — `allreduce()`,
+//! `allgather()` and `broadcast()` (§II-D) — plus the implicit barrier of
+//! synchronous training. This crate provides:
+//!
+//! * [`Communicator`] — the primitive set as a trait, with MPI-style
+//!   `rank`/`size` identity.
+//! * [`ThreadComm`] — N ranks as threads within one process, synchronized
+//!   by generation-counted rendezvous (no spinning). This substitutes for
+//!   Horovod+NCCL: it preserves the *synchronization structure* of the
+//!   algorithm (who contributes what, when everyone blocks), which is what
+//!   the correctness experiments need.
+//! * [`LocalComm`] — the trivial single-rank communicator.
+//! * [`fusion::FusionBuffer`] — Horovod's fusion buffer (§II-D): small
+//!   tensors are coalesced and reduced in one operation once a byte
+//!   threshold is reached.
+//! * [`handle`] — deferred-completion handles mirroring Horovod's
+//!   asynchronous op registration (§V-A): ops are enqueued during the
+//!   backward pass and completed at `synchronize()`.
+//! * [`cost`] — the α/β analytic cost model for ring allreduce /
+//!   allgather / tree broadcast (Patarasuk & Yuan, the paper's [35]),
+//!   consumed by the `kfac-cluster` scaling simulator.
+//! * [`traffic`] — per-class byte accounting so experiments can report
+//!   communication volumes (gradients vs factors vs eigendecompositions).
+
+pub mod communicator;
+pub mod cost;
+pub mod fusion;
+pub mod handle;
+pub mod local;
+pub mod thread;
+pub mod traffic;
+
+pub use communicator::{Communicator, ReduceOp};
+pub use cost::LinkSpec;
+pub use fusion::FusionBuffer;
+pub use local::LocalComm;
+pub use thread::ThreadComm;
+pub use traffic::{Traffic, TrafficClass};

@@ -1,0 +1,92 @@
+//! Trivial single-rank communicator.
+//!
+//! Lets the same training code run undistributed (the paper's 1-GPU
+//! baseline columns in Table II) without special-casing: every collective
+//! is the identity.
+
+use crate::communicator::{finalize, Communicator, ReduceOp};
+use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
+use std::sync::Arc;
+
+/// A communicator group of size one.
+pub struct LocalComm {
+    traffic: Arc<TrafficCounter>,
+}
+
+impl LocalComm {
+    /// Create a single-rank communicator.
+    pub fn new() -> Self {
+        LocalComm {
+            traffic: TrafficCounter::new(),
+        }
+    }
+}
+
+impl Default for LocalComm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Communicator for LocalComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
+        self.traffic.record(class, (buf.len() * 4) as u64);
+        // Average over one rank is the identity; Sum/Max likewise.
+        finalize(buf, op, 1);
+    }
+
+    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        self.traffic.record(class, (payload.len() * 4) as u64);
+        vec![payload.to_vec()]
+    }
+
+    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
+        assert_eq!(root, 0, "broadcast root out of range for size-1 group");
+        self.traffic.record(class, (buf.len() * 4) as u64);
+    }
+
+    fn barrier(&self) {}
+
+    fn traffic(&self) -> Traffic {
+        self.traffic.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_are_identity() {
+        let comm = LocalComm::new();
+        assert_eq!(comm.rank(), 0);
+        assert_eq!(comm.size(), 1);
+
+        let mut buf = vec![1.0, 2.0];
+        comm.allreduce(&mut buf, ReduceOp::Average);
+        assert_eq!(buf, vec![1.0, 2.0]);
+
+        let g = comm.allgather(&buf);
+        assert_eq!(g, vec![vec![1.0, 2.0]]);
+
+        comm.broadcast(&mut buf, 0);
+        assert_eq!(buf, vec![1.0, 2.0]);
+        comm.barrier();
+        assert_eq!(comm.traffic().ops, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast root out of range")]
+    fn bad_root_panics() {
+        let comm = LocalComm::new();
+        comm.broadcast(&mut [0.0], 1);
+    }
+}

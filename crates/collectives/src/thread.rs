@@ -1,0 +1,459 @@
+//! Thread-rank communicator: N workers in one process.
+//!
+//! This is the stand-in for Horovod + NCCL. A group is created with
+//! [`ThreadComm::create`], which returns one handle per rank; each rank
+//! thread owns its handle and calls collectives, which block until every
+//! rank has made the matching call — the same synchronous-SGD rendezvous
+//! the paper's Figure 1 depicts.
+//!
+//! The rendezvous is a generation-counted phase machine guarded by a
+//! `parking_lot` mutex + condvar (no spinning, per the Rust Atomics & Locks
+//! guidance on blocking synchronization):
+//!
+//! ```text
+//! Idle ──first arrival──▶ Accumulating ──last arrival──▶ Ready
+//!  ▲                                                       │
+//!  └─────────────── last departure (reset) ◀───────────────┘
+//! ```
+//!
+//! All ranks must issue the same sequence of collective calls (the MPI /
+//! Horovod ordering contract); a mismatch deadlocks here exactly as it
+//! would on the real stack, which the integration tests rely on to catch
+//! protocol bugs in the K-FAC step.
+
+use crate::communicator::{combine_into, finalize, Communicator, ReduceOp};
+use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No operation in flight.
+    Idle,
+    /// Ranks are contributing to the current operation.
+    Accumulating,
+    /// The result is complete; ranks are copying it out.
+    Ready,
+}
+
+/// What kind of collective the current generation is running; used to
+/// detect mismatched call sequences early instead of deadlocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    AllReduce,
+    AllGather,
+    Broadcast,
+    Barrier,
+}
+
+struct Slot {
+    phase: Phase,
+    kind: Option<OpKind>,
+    arrived: usize,
+    departed: usize,
+    /// Reduction accumulator (allreduce) or broadcast payload.
+    acc: Vec<f32>,
+    /// Per-rank payloads (allgather).
+    payloads: Vec<Vec<f32>>,
+    op: Option<ReduceOp>,
+}
+
+struct Shared {
+    size: usize,
+    slot: Mutex<Slot>,
+    cv: Condvar,
+    traffic: Arc<TrafficCounter>,
+}
+
+/// One rank's handle onto a thread-rank communicator group.
+pub struct ThreadComm {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// Per-rank traffic counter (each rank sees its own volumes, as a
+    /// Horovod rank would).
+    traffic: Arc<TrafficCounter>,
+}
+
+impl ThreadComm {
+    /// Create a group of `size` connected communicators, one per rank.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn create(size: usize) -> Vec<ThreadComm> {
+        assert!(size > 0, "communicator group must have at least one rank");
+        let shared = Arc::new(Shared {
+            size,
+            slot: Mutex::new(Slot {
+                phase: Phase::Idle,
+                kind: None,
+                arrived: 0,
+                departed: 0,
+                acc: Vec::new(),
+                payloads: vec![Vec::new(); size],
+                op: None,
+            }),
+            cv: Condvar::new(),
+            traffic: TrafficCounter::new(),
+        });
+        (0..size)
+            .map(|rank| ThreadComm {
+                rank,
+                shared: Arc::clone(&shared),
+                traffic: TrafficCounter::new(),
+            })
+            .collect()
+    }
+
+    /// Group-wide traffic (sum over ranks).
+    pub fn group_traffic(&self) -> Traffic {
+        self.shared.traffic.snapshot()
+    }
+
+    /// Run the generic rendezvous. `contribute` runs under the lock when
+    /// this rank arrives; `extract` runs under the lock once the result is
+    /// ready; the last departer resets the slot.
+    fn rendezvous<R>(
+        &self,
+        kind: OpKind,
+        contribute: impl FnOnce(&mut Slot),
+        complete: impl FnOnce(&mut Slot),
+        extract: impl FnOnce(&Slot) -> R,
+    ) -> R {
+        let shared = &*self.shared;
+        let mut slot = shared.slot.lock();
+
+        // Wait for any previous operation to fully drain.
+        while slot.phase == Phase::Ready {
+            shared.cv.wait(&mut slot);
+        }
+
+        if slot.phase == Phase::Idle {
+            slot.phase = Phase::Accumulating;
+            slot.kind = Some(kind);
+            slot.arrived = 0;
+            slot.acc.clear();
+            for p in &mut slot.payloads {
+                p.clear();
+            }
+            slot.op = None;
+        }
+        assert_eq!(
+            slot.kind,
+            Some(kind),
+            "collective call sequence mismatch across ranks (rank {} issued {:?}, group is running {:?})",
+            self.rank,
+            kind,
+            slot.kind
+        );
+
+        contribute(&mut slot);
+        slot.arrived += 1;
+
+        if slot.arrived == shared.size {
+            complete(&mut slot);
+            slot.phase = Phase::Ready;
+            slot.departed = 0;
+            shared.cv.notify_all();
+        } else {
+            while slot.phase != Phase::Ready {
+                shared.cv.wait(&mut slot);
+            }
+        }
+
+        let result = extract(&slot);
+        slot.departed += 1;
+        if slot.departed == shared.size {
+            slot.phase = Phase::Idle;
+            slot.kind = None;
+            shared.cv.notify_all();
+        }
+        result
+    }
+
+    fn record(&self, class: TrafficClass, bytes: u64) {
+        self.traffic.record(class, bytes);
+        self.shared.traffic.record(class, bytes);
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
+        let size = self.shared.size;
+        self.record(class, (buf.len() * 4) as u64);
+        if size == 1 {
+            return;
+        }
+        // Contributions are staged per rank and reduced in *rank order*
+        // at completion: floating-point addition is non-associative, so
+        // arrival-order accumulation would make multi-rank training
+        // nondeterministic run-to-run. Rank-ordered reduction keeps the
+        // whole stack bit-reproducible given a seed.
+        let rank = self.rank;
+        let out = self.rendezvous(
+            OpKind::AllReduce,
+            |slot| {
+                if let Some(prev) = slot.op {
+                    assert_eq!(prev, op, "allreduce op mismatch across ranks");
+                } else {
+                    slot.op = Some(op);
+                }
+                if !slot.payloads.iter().all(|p| p.is_empty() || p.len() == buf.len()) {
+                    panic!("allreduce length mismatch across ranks");
+                }
+                slot.payloads[rank] = buf.to_vec();
+            },
+            |slot| {
+                let op = slot.op.expect("op recorded at first arrival");
+                slot.acc = slot.payloads[0].clone();
+                for r in 1..size {
+                    let contribution = std::mem::take(&mut slot.payloads[r]);
+                    combine_into(&mut slot.acc, &contribution, op);
+                }
+                slot.payloads[0].clear();
+                finalize(&mut slot.acc, op, size);
+            },
+            |slot| slot.acc.clone(),
+        );
+        buf.copy_from_slice(&out);
+    }
+
+    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        self.record(class, (payload.len() * 4) as u64);
+        if self.shared.size == 1 {
+            return vec![payload.to_vec()];
+        }
+        let rank = self.rank;
+        self.rendezvous(
+            OpKind::AllGather,
+            |slot| {
+                slot.payloads[rank] = payload.to_vec();
+            },
+            |_slot| {},
+            |slot| slot.payloads.clone(),
+        )
+    }
+
+    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
+        assert!(root < self.shared.size, "broadcast root out of range");
+        self.record(class, (buf.len() * 4) as u64);
+        if self.shared.size == 1 {
+            return;
+        }
+        let rank = self.rank;
+        let out = self.rendezvous(
+            OpKind::Broadcast,
+            |slot| {
+                if rank == root {
+                    slot.acc = buf.to_vec();
+                }
+            },
+            |_slot| {},
+            |slot| slot.acc.clone(),
+        );
+        if rank != root {
+            assert_eq!(out.len(), buf.len(), "broadcast length mismatch");
+            buf.copy_from_slice(&out);
+        }
+    }
+
+    fn barrier(&self) {
+        if self.shared.size == 1 {
+            return;
+        }
+        self.rendezvous(OpKind::Barrier, |_| {}, |_| {}, |_| ());
+    }
+
+    fn traffic(&self) -> Traffic {
+        self.traffic.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Run `f(rank, comm)` on every rank of a fresh group and collect the
+    /// per-rank results.
+    fn run_group<R: Send>(
+        size: usize,
+        f: impl Fn(usize, &ThreadComm) -> R + Sync,
+    ) -> Vec<R> {
+        let comms = ThreadComm::create(size);
+        let f = &f;
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .enumerate()
+                .map(|(rank, comm)| s.spawn(move || f(rank, comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for size in [1, 2, 3, 4, 8] {
+            let results = run_group(size, |rank, comm| {
+                let mut buf = vec![rank as f32, 1.0];
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                buf
+            });
+            let expect_sum: f32 = (0..size).map(|r| r as f32).sum();
+            for r in &results {
+                assert_eq!(r[0], expect_sum, "size {}", size);
+                assert_eq!(r[1], size as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_average() {
+        let results = run_group(4, |rank, comm| {
+            let mut buf = vec![(rank * 2) as f32];
+            comm.allreduce(&mut buf, ReduceOp::Average);
+            buf[0]
+        });
+        for r in results {
+            assert_eq!(r, 3.0); // mean of 0,2,4,6
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let results = run_group(5, |rank, comm| {
+            let mut buf = vec![-(rank as f32), rank as f32];
+            comm.allreduce(&mut buf, ReduceOp::Max);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn back_to_back_allreduces_do_not_mix() {
+        // Regression for generation handling: a fast rank must not leak
+        // into the next operation's accumulator.
+        let results = run_group(4, |rank, comm| {
+            let mut total = Vec::new();
+            for round in 0..50 {
+                let mut buf = vec![(rank + round) as f32];
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                total.push(buf[0]);
+            }
+            total
+        });
+        for r in &results {
+            for (round, &v) in r.iter().enumerate() {
+                let expect: f32 = (0..4).map(|rk| (rk + round) as f32).sum();
+                assert_eq!(v, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        let results = run_group(3, |rank, comm| {
+            let payload: Vec<f32> = (0..=rank).map(|i| (rank * 10 + i) as f32).collect();
+            comm.allgather(&payload)
+        });
+        for gathered in &results {
+            assert_eq!(gathered.len(), 3);
+            assert_eq!(gathered[0], vec![0.0]);
+            assert_eq!(gathered[1], vec![10.0, 11.0]);
+            assert_eq!(gathered[2], vec![20.0, 21.0, 22.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..3 {
+            let results = run_group(3, move |rank, comm| {
+                let mut buf = if rank == root {
+                    vec![42.0, 43.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.broadcast(&mut buf, root);
+                buf
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, 43.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run_group(6, |_rank, comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // Every rank must have incremented before any rank passes.
+            assert_eq!(before.load(Ordering::SeqCst), 6);
+        });
+    }
+
+    #[test]
+    fn mixed_op_sequences() {
+        // Interleave all collective kinds repeatedly; any generation bug
+        // deadlocks or corrupts data.
+        let results = run_group(4, |rank, comm| {
+            let mut acc = 0.0f32;
+            for round in 0..20 {
+                let mut g = vec![rank as f32 + round as f32; 8];
+                comm.allreduce(&mut g, ReduceOp::Average);
+                acc += g[0];
+                let gathered = comm.allgather(&[rank as f32]);
+                assert_eq!(gathered.len(), 4);
+                let mut b = vec![if rank == round % 4 { 7.0 } else { 0.0 }];
+                comm.broadcast(&mut b, round % 4);
+                assert_eq!(b[0], 7.0);
+                comm.barrier();
+            }
+            acc
+        });
+        let expect: f32 = (0..20).map(|round| 1.5 + round as f32).sum();
+        for r in results {
+            assert!((r - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn traffic_is_recorded_per_class() {
+        let results = run_group(2, |_rank, comm| {
+            let mut buf = vec![0.0f32; 100];
+            comm.allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient);
+            comm.allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Factor);
+            let _ = comm.allgather_tagged(&buf, TrafficClass::Eigen);
+            comm.traffic()
+        });
+        for t in results {
+            assert_eq!(t.gradient_bytes, 400);
+            assert_eq!(t.factor_bytes, 400);
+            assert_eq!(t.eigen_bytes, 400);
+            assert_eq!(t.ops, 3);
+        }
+    }
+
+    #[test]
+    fn size_one_short_circuits() {
+        let comms = ThreadComm::create(1);
+        let mut buf = vec![5.0];
+        comms[0].allreduce(&mut buf, ReduceOp::Average);
+        assert_eq!(buf, vec![5.0]);
+        let g = comms[0].allgather(&buf);
+        assert_eq!(g, vec![vec![5.0]]);
+        comms[0].barrier();
+    }
+}

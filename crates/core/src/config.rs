@@ -1,0 +1,229 @@
+//! K-FAC preconditioner configuration.
+//!
+//! Gathers every hyper-parameter §V-C introduces: damping γ and its decay
+//! schedule, the KL-clip constant κ, the eigendecomposition update
+//! interval (`kfac-update-freq`) and its decay schedule, the 10× factor
+//! update multiplier, the running-average weight ξ, the inversion method
+//! (Table I's comparison axis) and the distribution strategy
+//! (K-FAC-lw vs K-FAC-opt, §VI-C3).
+
+/// How `(F̂ + γI)⁻¹ ∇L` is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InversionMethod {
+    /// Implicit inverse via the eigendecomposition expansion of
+    /// Eq. 13–15 — the paper's choice (Table I shows it preserving
+    /// accuracy at large batch).
+    Eigen,
+    /// Explicit inverse `(A+γI)⁻¹, (G+γI)⁻¹` of Eq. 11 — the variant
+    /// Table I shows degrading as batch size grows.
+    ExplicitInverse,
+}
+
+/// Which symmetric-eigendecomposition backend evaluates the factor
+/// spectra (both satisfy the same contract; tridiagonal QL is the faster
+/// LAPACK-style route for larger factors, Jacobi the simpler and
+/// ultra-robust default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EigenSolver {
+    /// Cyclic Jacobi sweeps (`kfac_tensor::eigh`).
+    Jacobi,
+    /// Householder tridiagonalization + implicit-shift QL
+    /// (`kfac_tensor::eigh_tridiag`).
+    TridiagonalQl,
+}
+
+/// How K-FAC work is distributed across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistStrategy {
+    /// The paper's optimized scheme (K-FAC-opt): each *factor* is
+    /// assigned to a rank; eigendecompositions are allgathered; every
+    /// rank preconditions all layers locally. Decoupling eig updates
+    /// from preconditioning lets non-update iterations skip all K-FAC
+    /// communication (§IV-C).
+    Opt,
+    /// The layer-wise scheme of Osawa et al. \[6\] (K-FAC-lw): one rank
+    /// owns a whole layer, computes both eigendecompositions *and* the
+    /// preconditioned gradient, and communicates preconditioned
+    /// gradients every iteration.
+    Lw,
+}
+
+/// How factors are placed onto ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Greedy round-robin by factor index — the paper's implementation
+    /// (§VI-C4 identifies the resulting size imbalance as the scaling
+    /// bottleneck, Table VI).
+    RoundRobin,
+    /// Longest-processing-time-first using `dim³` as the eig-cost
+    /// heuristic — the placement policy the paper proposes as future
+    /// work in §VI-C4, implemented here as an extension.
+    SizeBalanced,
+}
+
+/// Full preconditioner configuration.
+#[derive(Debug, Clone)]
+pub struct KfacConfig {
+    /// Tikhonov damping γ added to the Kronecker eigenvalue products
+    /// (paper default 0.001 for ImageNet, §VI-C1).
+    pub damping: f32,
+    /// KL-clip constant κ of Eq. 18 (order 1e-3); `None` disables
+    /// gradient rescaling.
+    pub kl_clip: Option<f32>,
+    /// `kfac-update-freq`: iterations between eigendecomposition
+    /// (or explicit-inverse) updates.
+    pub update_freq: usize,
+    /// Factors are recomputed and averaged this many times per eig
+    /// update (paper: 10 — "a frequency of 10× kfac-update-freq").
+    pub factor_freq_multiplier: usize,
+    /// Running-average weight ξ of Eq. 16–17, typically in `[0.9, 1)`.
+    pub running_avg: f32,
+    /// Inversion method.
+    pub inversion: InversionMethod,
+    /// Eigendecomposition backend for the eigen path.
+    pub eigen_solver: EigenSolver,
+    /// Distribution strategy.
+    pub strategy: DistStrategy,
+    /// Placement policy for factor → rank assignment.
+    pub placement: PlacementPolicy,
+    /// Damping decay: at each listed epoch, γ is multiplied by
+    /// `damping_decay_factor` (§V-C: "reduce the damping by a fixed
+    /// scalar quantity at fixed epochs").
+    pub damping_decay_epochs: Vec<usize>,
+    /// Multiplier applied to γ at each decay epoch.
+    pub damping_decay_factor: f32,
+    /// Update-frequency decay: `(epoch, new_update_freq)` pairs applied
+    /// in order (§V-C: "at fixed training epochs, we decrease
+    /// kfac-update-freq").
+    pub update_freq_schedule: Vec<(usize, usize)>,
+    /// Exchange only the upper triangle of each (symmetric) factor in the
+    /// fused allreduce, cutting factor traffic almost in half — an
+    /// implementation of the paper's stated future work to "reduce
+    /// communication quantity" (§VII).
+    pub triangular_factor_comm: bool,
+}
+
+impl Default for KfacConfig {
+    fn default() -> Self {
+        KfacConfig {
+            damping: 0.001,
+            kl_clip: Some(0.001),
+            update_freq: 10,
+            factor_freq_multiplier: 10,
+            running_avg: 0.95,
+            inversion: InversionMethod::Eigen,
+            eigen_solver: EigenSolver::Jacobi,
+            strategy: DistStrategy::Opt,
+            placement: PlacementPolicy::RoundRobin,
+            damping_decay_epochs: Vec::new(),
+            damping_decay_factor: 0.5,
+            update_freq_schedule: Vec::new(),
+            triangular_factor_comm: true,
+        }
+    }
+}
+
+impl KfacConfig {
+    /// Iterations between factor recomputations: `update_freq /
+    /// factor_freq_multiplier`, at least 1.
+    pub fn factor_interval(&self) -> usize {
+        (self.update_freq / self.factor_freq_multiplier).max(1)
+    }
+
+    /// Damping after the decays scheduled at or before `epoch`.
+    pub fn damping_at(&self, epoch: usize) -> f32 {
+        let drops = self
+            .damping_decay_epochs
+            .iter()
+            .filter(|&&e| epoch >= e)
+            .count();
+        self.damping * self.damping_decay_factor.powi(drops as i32)
+    }
+
+    /// Eig-update interval in force at `epoch`.
+    pub fn update_freq_at(&self, epoch: usize) -> usize {
+        let mut freq = self.update_freq;
+        for &(e, f) in &self.update_freq_schedule {
+            if epoch >= e {
+                freq = f;
+            }
+        }
+        freq
+    }
+
+    /// Validate invariants (call once at construction sites).
+    pub fn validate(&self) {
+        assert!(self.damping > 0.0, "damping must be positive");
+        assert!(self.update_freq >= 1, "update_freq must be ≥ 1");
+        assert!(
+            self.factor_freq_multiplier >= 1,
+            "factor_freq_multiplier must be ≥ 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.running_avg),
+            "running_avg must be in [0, 1]"
+        );
+        if let Some(k) = self.kl_clip {
+            assert!(k > 0.0, "kl_clip must be positive when set");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_interval_is_tenth_of_update_freq() {
+        let cfg = KfacConfig {
+            update_freq: 100,
+            ..KfacConfig::default()
+        };
+        assert_eq!(cfg.factor_interval(), 10);
+        let tight = KfacConfig {
+            update_freq: 5,
+            ..KfacConfig::default()
+        };
+        assert_eq!(tight.factor_interval(), 1, "clamped at every iteration");
+    }
+
+    #[test]
+    fn damping_decays_at_epochs() {
+        let cfg = KfacConfig {
+            damping: 0.01,
+            damping_decay_epochs: vec![10, 20],
+            damping_decay_factor: 0.5,
+            ..KfacConfig::default()
+        };
+        assert_eq!(cfg.damping_at(0), 0.01);
+        assert_eq!(cfg.damping_at(10), 0.005);
+        assert_eq!(cfg.damping_at(25), 0.0025);
+    }
+
+    #[test]
+    fn update_freq_schedule_applies_in_order() {
+        let cfg = KfacConfig {
+            update_freq: 10,
+            update_freq_schedule: vec![(20, 50), (40, 100)],
+            ..KfacConfig::default()
+        };
+        assert_eq!(cfg.update_freq_at(0), 10);
+        assert_eq!(cfg.update_freq_at(20), 50);
+        assert_eq!(cfg.update_freq_at(45), 100);
+    }
+
+    #[test]
+    fn default_validates() {
+        KfacConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "damping must be positive")]
+    fn zero_damping_rejected() {
+        KfacConfig {
+            damping: 0.0,
+            ..KfacConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,467 @@
+//! The distributed K-FAC preconditioner — Algorithm 1 of the paper.
+//!
+//! One [`Kfac`] instance lives on each rank. Per training iteration (after
+//! gradients have been allreduced, mirroring `optimizer.synchronize()` in
+//! Listing 1) the rank calls [`Kfac::step`], which:
+//!
+//! 1. **Factor update** (every `update_freq / 10` iterations): computes
+//!    local Kronecker factors from the captured activations/gradients,
+//!    folds them into running averages (Eq. 16–17) and allreduces the
+//!    averages (Algorithm 1 lines 4–8).
+//! 2. **Second-order update** (every `update_freq` iterations): assigns
+//!    each factor to a rank (round-robin, Fig. 3 step 2), eigendecomposes
+//!    (or explicitly inverts) the locally-assigned factors, and
+//!    allgathers the results (lines 10–18).
+//! 3. **Preconditioning** (every iteration): computes
+//!    `(F̂ + γI)⁻¹ ∇L` locally for all layers (Eq. 13–15), applies the
+//!    KL-clip ν (Eq. 18), and writes the result back into the layers'
+//!    gradients, ready for any first-order optimizer (lines 19–21).
+//!
+//! Between second-order updates, stale eigendecompositions are reused and
+//! **no K-FAC communication happens at all** — the decoupling that §IV-C
+//! credits for K-FAC-opt's scaling advantage. The K-FAC-lw strategy of
+//! Osawa et al. \[6\] is implemented alongside for the Fig. 7–9 comparison:
+//! there, a layer's owner computes both decompositions *and* the
+//! preconditioned gradient, which is then exchanged every iteration.
+
+use crate::config::{DistStrategy, InversionMethod, KfacConfig};
+use crate::distribution::{
+    assign_factors, assign_layers_lw, factor_descs, FactorDesc,
+};
+use crate::math::{
+    decompose_factor_with, invert_factor, kl_clip_nu, precondition_eigen,
+    precondition_inverse, EigenPair, InversePair,
+};
+use crate::stats::StageStats;
+use kfac_collectives::{Communicator, ReduceOp, TrafficClass};
+use kfac_nn::{KfacEligible, Layer};
+use kfac_tensor::{EigenDecomposition, Matrix};
+use std::time::Instant;
+
+/// Per-factor second-order state.
+enum FactorSecondOrder {
+    None,
+    Eigen(EigenDecomposition),
+    Inverse(Matrix),
+}
+
+/// Distributed K-FAC gradient preconditioner (one instance per rank).
+pub struct Kfac {
+    cfg: KfacConfig,
+    /// `(dim_A, dim_G)` per K-FAC-eligible layer, in structural order.
+    layer_dims: Vec<(usize, usize)>,
+    factors: Vec<FactorDesc>,
+    /// Running-average factors, indexed by factor id.
+    averages: Vec<Option<Matrix>>,
+    /// Second-order state (eig or inverse), indexed by factor id.
+    second_order: Vec<FactorSecondOrder>,
+    iteration: u64,
+    epoch: usize,
+    damping: f32,
+    update_freq: usize,
+    stats: StageStats,
+}
+
+impl Kfac {
+    /// Build a preconditioner for `model`. Every rank must construct it
+    /// from an identically-shaped model.
+    pub fn new(model: &mut dyn Layer, cfg: KfacConfig) -> Self {
+        cfg.validate();
+        let mut layers = Vec::new();
+        model.collect_kfac(&mut layers);
+        assert!(
+            !layers.is_empty(),
+            "model has no K-FAC-eligible (Linear/Conv2d) layers"
+        );
+        let layer_dims: Vec<(usize, usize)> =
+            layers.iter().map(|l| l.factor_dims()).collect();
+        let factors = factor_descs(&layer_dims);
+        let n_factors = factors.len();
+        let damping = cfg.damping;
+        let update_freq = cfg.update_freq;
+        Kfac {
+            cfg,
+            layer_dims,
+            factors,
+            averages: vec![None; n_factors],
+            second_order: (0..n_factors).map(|_| FactorSecondOrder::None).collect(),
+            iteration: 0,
+            epoch: 0,
+            damping,
+            update_freq,
+            stats: StageStats::new(),
+        }
+    }
+
+    /// Number of K-FAC-eligible layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_dims.len()
+    }
+
+    /// The factor inventory (for placement analysis / Table VI).
+    pub fn factors(&self) -> &[FactorDesc] {
+        &self.factors
+    }
+
+    /// Stage timing accumulated on this rank.
+    pub fn stats(&self) -> &StageStats {
+        &self.stats
+    }
+
+    /// Current damping γ (after decays).
+    pub fn damping(&self) -> f32 {
+        self.damping
+    }
+
+    /// Current eigendecomposition update interval (after decays).
+    pub fn update_freq(&self) -> usize {
+        self.update_freq
+    }
+
+    /// Iterations between factor updates.
+    pub fn factor_interval(&self) -> usize {
+        (self.update_freq / self.cfg.factor_freq_multiplier).max(1)
+    }
+
+    /// Inform the preconditioner of the current epoch; applies the
+    /// damping-decay and update-frequency-decay schedules of §V-C.
+    pub fn set_epoch(&mut self, epoch: usize) {
+        self.epoch = epoch;
+        self.damping = self.cfg.damping_at(epoch);
+        self.update_freq = self.cfg.update_freq_at(epoch);
+    }
+
+    /// Whether the *next* [`Kfac::step`] will recompute factors — the
+    /// trainer enables activation/gradient capture on the model exactly
+    /// for these iterations, so ordinary iterations pay no capture cost.
+    pub fn needs_capture(&self) -> bool {
+        self.iteration % self.factor_interval() as u64 == 0
+    }
+
+    /// Run one preconditioning step (Algorithm 1). Call after the
+    /// gradient allreduce and before `optimizer.step()`, exactly like
+    /// `preconditioner.step()` in Listing 1.
+    pub fn step(&mut self, model: &mut dyn Layer, comm: &dyn Communicator, lr: f32) {
+        let mut layers = Vec::new();
+        model.collect_kfac(&mut layers);
+        assert_eq!(
+            layers.len(),
+            self.layer_dims.len(),
+            "model structure changed since Kfac::new"
+        );
+
+        let k = self.iteration;
+        if k % self.factor_interval() as u64 == 0 {
+            self.update_factors(&layers, comm);
+        }
+        let eig_update = k % self.update_freq as u64 == 0;
+        match self.cfg.strategy {
+            DistStrategy::Opt => {
+                if eig_update {
+                    self.update_second_order_opt(comm);
+                }
+                self.precondition_opt(&mut layers, lr);
+            }
+            DistStrategy::Lw => {
+                if eig_update {
+                    self.update_second_order_lw(comm);
+                }
+                self.precondition_lw(&mut layers, comm, lr);
+            }
+        }
+        self.iteration += 1;
+        self.stats.steps += 1;
+    }
+
+    /// Algorithm 1 lines 4–8: local factor computation, running-average
+    /// update, fused allreduce.
+    fn update_factors(&mut self, layers: &[&mut dyn KfacEligible], comm: &dyn Communicator) {
+        let t0 = Instant::now();
+        for (li, layer) in layers.iter().enumerate() {
+            assert!(
+                layer.has_capture(),
+                "factor update at iteration {} but layer {} ({}) has no capture; \
+                 enable capture when needs_capture() is true",
+                self.iteration,
+                li,
+                layer.kfac_name()
+            );
+            let (a, g) = layer.compute_factors();
+            let xi = self.cfg.running_avg;
+            for (id, new) in [(2 * li, a), (2 * li + 1, g)] {
+                match &mut self.averages[id] {
+                    Some(avg) => avg.axpby(xi, &new, 1.0 - xi),
+                    slot @ None => *slot = Some(new),
+                }
+            }
+        }
+        self.stats.factor_comp += t0.elapsed();
+
+        // Fused allreduce of every factor in one collective (the fusion
+        // buffer rationale of §II-D; factors are small and numerous).
+        // With `triangular_factor_comm` only the upper triangle travels:
+        // factors are symmetric, so this halves the payload exactly.
+        let t1 = Instant::now();
+        if comm.size() > 1 {
+            let triangular = self.cfg.triangular_factor_comm;
+            let mut fused = Vec::new();
+            for avg in self.averages.iter().flatten() {
+                if triangular {
+                    let n = avg.rows();
+                    for i in 0..n {
+                        fused.extend_from_slice(&avg.row(i)[i..]);
+                    }
+                } else {
+                    fused.extend_from_slice(avg.as_slice());
+                }
+            }
+            comm.allreduce_tagged(&mut fused, ReduceOp::Average, TrafficClass::Factor);
+            let mut off = 0;
+            for avg in self.averages.iter_mut().flatten() {
+                if triangular {
+                    let n = avg.rows();
+                    for i in 0..n {
+                        let len = n - i;
+                        avg.row_mut(i)[i..].copy_from_slice(&fused[off..off + len]);
+                        off += len;
+                    }
+                    // Mirror onto the lower triangle.
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            let v = avg[(i, j)];
+                            avg[(j, i)] = v;
+                        }
+                    }
+                } else {
+                    let len = avg.len();
+                    avg.as_mut_slice().copy_from_slice(&fused[off..off + len]);
+                    off += len;
+                }
+            }
+        }
+        self.stats.factor_comm += t1.elapsed();
+        self.stats.factor_updates += 1;
+    }
+
+    /// Compute the second-order representation (eig or inverse) of one
+    /// factor from its running average.
+    fn compute_second_order(&self, id: usize) -> FactorSecondOrder {
+        let avg = self.averages[id]
+            .as_ref()
+            .expect("factor average exists before second-order update");
+        match self.cfg.inversion {
+            InversionMethod::Eigen => FactorSecondOrder::Eigen(
+                decompose_factor_with(avg, self.cfg.eigen_solver)
+                    .expect("factor eigendecomposition converges"),
+            ),
+            InversionMethod::ExplicitInverse => FactorSecondOrder::Inverse(
+                invert_factor(avg, self.damping).expect("damped factor is invertible"),
+            ),
+        }
+    }
+
+    /// Wire length (f32 words) of one factor's second-order payload.
+    fn wire_len(&self, id: usize) -> usize {
+        let n = self.factors[id].dim;
+        match self.cfg.inversion {
+            InversionMethod::Eigen => EigenDecomposition::wire_len(n),
+            InversionMethod::ExplicitInverse => n * n,
+        }
+    }
+
+    fn encode_second_order(&self, so: &FactorSecondOrder, out: &mut Vec<f32>) {
+        match so {
+            FactorSecondOrder::Eigen(e) => out.extend_from_slice(&e.to_bytes_f32()),
+            FactorSecondOrder::Inverse(m) => out.extend_from_slice(m.as_slice()),
+            FactorSecondOrder::None => unreachable!("encoding empty second-order state"),
+        }
+    }
+
+    fn decode_second_order(&self, id: usize, data: &[f32]) -> FactorSecondOrder {
+        let n = self.factors[id].dim;
+        match self.cfg.inversion {
+            InversionMethod::Eigen => {
+                FactorSecondOrder::Eigen(EigenDecomposition::from_bytes_f32(n, data))
+            }
+            InversionMethod::ExplicitInverse => {
+                FactorSecondOrder::Inverse(Matrix::from_vec(n, n, data.to_vec()))
+            }
+        }
+    }
+
+    /// Algorithm 1 lines 9–18 (K-FAC-opt): round-robin factor assignment,
+    /// local decompositions, allgather.
+    fn update_second_order_opt(&mut self, comm: &dyn Communicator) {
+        let world = comm.size();
+        let rank = comm.rank();
+        let assignment = assign_factors(self.cfg.placement, &self.factors, world);
+
+        let t0 = Instant::now();
+        let mut payload = Vec::new();
+        for f in &self.factors {
+            if assignment[f.id] == rank {
+                let so = self.compute_second_order(f.id);
+                self.encode_second_order(&so, &mut payload);
+                self.second_order[f.id] = so;
+            }
+        }
+        self.stats.eig_comp += t0.elapsed();
+
+        let t1 = Instant::now();
+        if world > 1 {
+            let gathered = comm.allgather_tagged(&payload, TrafficClass::Eigen);
+            // Decode: walk factors in id order, consuming each owner's
+            // payload sequentially (the deterministic-assignment property
+            // makes the framing implicit).
+            let mut offsets = vec![0usize; world];
+            for f in &self.factors {
+                let owner = assignment[f.id];
+                let len = self.wire_len(f.id);
+                let start = offsets[owner];
+                offsets[owner] += len;
+                if owner == rank {
+                    continue; // already stored locally
+                }
+                let data = &gathered[owner][start..start + len];
+                self.second_order[f.id] = self.decode_second_order(f.id, data);
+            }
+        }
+        self.stats.eig_comm += t1.elapsed();
+        self.stats.eig_updates += 1;
+    }
+
+    /// K-FAC-lw second-order update: each layer's owner computes both of
+    /// its decompositions locally; nothing is communicated here (the
+    /// preconditioned gradients travel every iteration instead).
+    fn update_second_order_lw(&mut self, comm: &dyn Communicator) {
+        let world = comm.size();
+        let rank = comm.rank();
+        let owners = assign_layers_lw(self.num_layers(), world);
+
+        let t0 = Instant::now();
+        for li in 0..self.num_layers() {
+            if owners[li] == rank {
+                for id in [2 * li, 2 * li + 1] {
+                    self.second_order[id] = self.compute_second_order(id);
+                }
+            }
+        }
+        self.stats.eig_comp += t0.elapsed();
+        self.stats.eig_updates += 1;
+    }
+
+    /// Preconditioned gradient for one layer from stored second-order
+    /// state.
+    fn precondition_layer(&self, li: usize, grad: &Matrix) -> Matrix {
+        match (&self.second_order[2 * li], &self.second_order[2 * li + 1]) {
+            (FactorSecondOrder::Eigen(a), FactorSecondOrder::Eigen(g)) => precondition_eigen(
+                &EigenPair {
+                    a: a.clone(),
+                    g: g.clone(),
+                },
+                grad,
+                self.damping,
+            ),
+            (FactorSecondOrder::Inverse(a), FactorSecondOrder::Inverse(g)) => {
+                precondition_inverse(
+                    &InversePair {
+                        a_inv: a.clone(),
+                        g_inv: g.clone(),
+                    },
+                    grad,
+                )
+            }
+            _ => unreachable!("second-order state missing for layer {li}"),
+        }
+    }
+
+    /// Algorithm 1 lines 19–21 (K-FAC-opt): every rank preconditions all
+    /// layers locally, then KL-clips.
+    fn precondition_opt(&mut self, layers: &mut [&mut dyn KfacEligible], lr: f32) {
+        let t0 = Instant::now();
+        let grads: Vec<Matrix> = layers.iter().map(|l| l.grad_matrix()).collect();
+        let preconds: Vec<Matrix> = grads
+            .iter()
+            .enumerate()
+            .map(|(li, g)| self.precondition_layer(li, g))
+            .collect();
+        self.apply_with_clip(layers, &preconds, &grads, lr);
+        self.stats.precond += t0.elapsed();
+    }
+
+    /// K-FAC-lw per-iteration path: owners precondition their layers and
+    /// the results are allgathered (the extra per-iteration communication
+    /// that §IV-C eliminates in K-FAC-opt).
+    fn precondition_lw(
+        &mut self,
+        layers: &mut [&mut dyn KfacEligible],
+        comm: &dyn Communicator,
+        lr: f32,
+    ) {
+        let world = comm.size();
+        let rank = comm.rank();
+        let owners = assign_layers_lw(self.num_layers(), world);
+
+        let t0 = Instant::now();
+        let grads: Vec<Matrix> = layers.iter().map(|l| l.grad_matrix()).collect();
+        let mut payload = Vec::new();
+        for (li, grad) in grads.iter().enumerate() {
+            if owners[li] == rank {
+                let pg = self.precondition_layer(li, grad);
+                payload.extend_from_slice(pg.as_slice());
+            }
+        }
+
+        let mut preconds: Vec<Option<Matrix>> = vec![None; self.num_layers()];
+        if world > 1 {
+            let gathered = comm.allgather_tagged(&payload, TrafficClass::Precond);
+            let mut offsets = vec![0usize; world];
+            for (li, &(da, dg)) in self.layer_dims.iter().enumerate() {
+                let owner = owners[li];
+                let len = da * dg;
+                let start = offsets[owner];
+                offsets[owner] += len;
+                let data = &gathered[owner][start..start + len];
+                preconds[li] = Some(Matrix::from_vec(dg, da, data.to_vec()));
+            }
+        } else {
+            let mut off = 0usize;
+            for (li, &(da, dg)) in self.layer_dims.iter().enumerate() {
+                let len = da * dg;
+                preconds[li] = Some(Matrix::from_vec(
+                    dg,
+                    da,
+                    payload[off..off + len].to_vec(),
+                ));
+                off += len;
+            }
+        }
+        let preconds: Vec<Matrix> = preconds.into_iter().map(|p| p.expect("gathered")).collect();
+        self.apply_with_clip(layers, &preconds, &grads, lr);
+        self.stats.precond += t0.elapsed();
+    }
+
+    /// Apply the KL-clip ν (Eq. 18) and write preconditioned gradients
+    /// back into the layers.
+    fn apply_with_clip(
+        &self,
+        layers: &mut [&mut dyn KfacEligible],
+        preconds: &[Matrix],
+        grads: &[Matrix],
+        lr: f32,
+    ) {
+        let nu = match self.cfg.kl_clip {
+            Some(kappa) => kl_clip_nu(preconds.iter().zip(grads.iter()), kappa, lr),
+            None => 1.0,
+        };
+        for (layer, pg) in layers.iter_mut().zip(preconds) {
+            if nu != 1.0 {
+                let mut scaled = pg.clone();
+                scaled.scale(nu);
+                layer.set_grad_matrix(&scaled);
+            } else {
+                layer.set_grad_matrix(pg);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Failure-injection tests: the preconditioner must fail loudly and
+//! specifically on protocol misuse, never silently corrupt training.
+
+use kfac::{Kfac, KfacConfig};
+use kfac_collectives::LocalComm;
+use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Linear, Sequential};
+use kfac_tensor::{Rng64, Tensor4};
+
+fn model() -> Sequential {
+    let mut rng = Rng64::new(1);
+    Sequential::from_layers(vec![Box::new(Linear::new("fc", 4, 3, true, &mut rng))])
+}
+
+fn fwd_bwd(m: &mut Sequential, capture: bool) {
+    let mut rng = Rng64::new(2);
+    let x = Tensor4::from_vec(4, 4, 1, 1, (0..16).map(|_| rng.normal_f32()).collect());
+    m.zero_grad();
+    m.set_capture(capture);
+    let out = m.forward(&x, Mode::Train);
+    let (_, g) = CrossEntropyLoss::new().forward(&out, &[0, 1, 2, 0]);
+    let _ = m.backward(&g);
+}
+
+#[test]
+#[should_panic(expected = "has no capture")]
+fn factor_update_without_capture_panics_with_guidance() {
+    let mut m = model();
+    let mut kfac = Kfac::new(&mut m, KfacConfig::default());
+    // Deliberately ignore needs_capture(): the harness bug the message
+    // must diagnose.
+    fwd_bwd(&mut m, false);
+    kfac.step(&mut m, &LocalComm::new(), 0.1);
+}
+
+#[test]
+#[should_panic(expected = "no K-FAC-eligible")]
+fn model_without_eligible_layers_is_rejected() {
+    let mut m = Sequential::from_layers(vec![Box::new(kfac_nn::ReLU::new())]);
+    let _ = Kfac::new(&mut m, KfacConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "model structure changed")]
+fn structure_change_between_steps_is_rejected() {
+    let mut m = model();
+    let mut kfac = Kfac::new(&mut m, KfacConfig::default());
+    fwd_bwd(&mut m, true);
+    kfac.step(&mut m, &LocalComm::new(), 0.1);
+    // Swap in a different model.
+    let mut rng = Rng64::new(3);
+    let mut other = Sequential::from_layers(vec![
+        Box::new(Linear::new("a", 4, 3, true, &mut rng)),
+        Box::new(Linear::new("b", 3, 3, true, &mut rng)),
+    ]);
+    fwd_bwd(&mut other, true);
+    kfac.step(&mut other, &LocalComm::new(), 0.1);
+}
+
+#[test]
+#[should_panic(expected = "damping must be positive")]
+fn invalid_config_rejected_at_construction() {
+    let mut m = model();
+    let _ = Kfac::new(
+        &mut m,
+        KfacConfig {
+            damping: -1.0,
+            ..KfacConfig::default()
+        },
+    );
+}
+
+#[test]
+fn stale_steps_never_panic_without_capture() {
+    // Only factor-update iterations require capture; the steps between
+    // them must work with capture off.
+    let mut m = model();
+    let mut kfac = Kfac::new(
+        &mut m,
+        KfacConfig {
+            update_freq: 4,
+            factor_freq_multiplier: 1,
+            ..KfacConfig::default()
+        },
+    );
+    let comm = LocalComm::new();
+    for _ in 0..8 {
+        fwd_bwd(&mut m, kfac.needs_capture());
+        kfac.step(&mut m, &comm, 0.1);
+    }
+}
+
+#[test]
+fn gradients_stay_finite_under_extreme_damping_and_lr() {
+    // Numerical robustness: pathological hyper-parameters may train
+    // badly but must never produce NaN/Inf gradients.
+    for (damping, lr) in [(1e-8f32, 10.0f32), (100.0, 1e-8), (1e-8, 1e-8)] {
+        let mut m = model();
+        let mut kfac = Kfac::new(
+            &mut m,
+            KfacConfig {
+                damping,
+                update_freq: 1,
+                ..KfacConfig::default()
+            },
+        );
+        let comm = LocalComm::new();
+        for _ in 0..3 {
+            fwd_bwd(&mut m, kfac.needs_capture());
+            kfac.step(&mut m, &comm, lr);
+            m.visit_params("", &mut |name, _, g| {
+                assert!(
+                    g.iter().all(|v| v.is_finite()),
+                    "non-finite gradient in {name} at damping={damping} lr={lr}"
+                );
+            });
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! ImageNet-1k stand-in preset.
+//!
+//! Real ImageNet-1k: 1000 classes, ~1.28 M train / 50 000 validation
+//! 224×224×3 images. The stand-in keeps what distinguishes the paper's
+//! ImageNet experiments from its CIFAR ones — many more classes, higher
+//! intra-class variance, longer epoch budgets — at CPU scale: 100 classes
+//! by default, noisier samples, larger shift augmentation.
+
+use crate::synthetic::{SyntheticConfig, SyntheticImages};
+
+/// Build the ImageNet-like `(train, val)` pair.
+///
+/// `classes` defaults to 100 in the experiment presets (1000 is allowed
+/// but slow); `size` is the square resolution.
+pub fn synthetic_imagenet(
+    classes: usize,
+    size: usize,
+    train_len: usize,
+    val_len: usize,
+    seed: u64,
+) -> (SyntheticImages, SyntheticImages) {
+    let base = SyntheticConfig {
+        classes,
+        len: train_len,
+        channels: 3,
+        height: size,
+        width: size,
+        noise: 0.8,
+        class_overlap: 0.85,
+        modes: 6,
+        max_shift: (size / 6).max(1),
+        flip: true,
+        seed,
+        split: 0,
+        augment: true,
+    };
+    let train = SyntheticImages::new(base.clone());
+    let val = SyntheticImages::new(SyntheticConfig {
+        len: val_len,
+        split: 1,
+        augment: false,
+        ..base
+    });
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::Dataset;
+
+    #[test]
+    fn preset_shapes() {
+        let (train, val) = synthetic_imagenet(100, 16, 2000, 400, 3);
+        assert_eq!(train.num_classes(), 100);
+        assert_eq!(val.num_classes(), 100);
+        assert_eq!(train.shape(), (3, 16, 16));
+        assert_eq!(train.len(), 2000);
+        assert_eq!(val.len(), 400);
+    }
+
+    #[test]
+    fn harder_than_cifar_preset() {
+        // More classes and more noise than the CIFAR preset — the relative
+        // difficulty ordering the paper's two benchmarks have.
+        let (inet, _) = synthetic_imagenet(100, 8, 100, 10, 1);
+        let (cifar, _) = crate::cifar::synthetic_cifar(8, 100, 10, 1);
+        assert!(inet.num_classes() > cifar.num_classes());
+    }
+}

@@ -1,0 +1,32 @@
+//! # kfac-data
+//!
+//! Synthetic dataset substrate for the `kfac-rs` reproduction of
+//! *Convolutional Neural Network Training with Distributed K-FAC*
+//! (Pauloski et al., SC 2020).
+//!
+//! The paper trains on CIFAR-10 and ImageNet-1k. Neither is available in
+//! this environment, so — per the documented substitution policy in
+//! DESIGN.md — this crate generates **class-conditional synthetic image
+//! tasks** that exercise the same code paths and the same optimization
+//! dynamics: multiple classes, intra-class variance, augmentation, a
+//! held-out validation split with a real generalization gap, and data
+//! sharding across ranks.
+//!
+//! * [`synthetic`] — the generator: per-class low-frequency templates plus
+//!   per-sample jitter, noise, shifts and flips. Everything is computed
+//!   procedurally from `(seed, index, variant)`, so datasets cost no
+//!   memory and every rank regenerates identical samples.
+//! * [`cifar`] / [`imagenet`] — presets standing in for CIFAR-10 and
+//!   ImageNet-1k at CPU-tractable sizes.
+//! * [`sampler`] — the distributed, per-epoch-shuffled batch sampler that
+//!   implements the data-parallel distribution of §II-A.
+
+pub mod cifar;
+pub mod imagenet;
+pub mod sampler;
+pub mod synthetic;
+
+pub use cifar::synthetic_cifar;
+pub use imagenet::synthetic_imagenet;
+pub use sampler::ShardedSampler;
+pub use synthetic::{Dataset, SyntheticConfig, SyntheticImages, batch_of};

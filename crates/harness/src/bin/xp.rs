@@ -1,0 +1,93 @@
+//! `xp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! xp <experiment> [--scale smoke|quick|full] [--out results/]
+//! xp all [--scale …]        # everything
+//! xp list                   # available experiment ids
+//! ```
+
+use kfac_harness::experiments::{self, ALL_EXPERIMENTS};
+use kfac_harness::presets::Scale;
+use kfac_harness::report::append_to_file;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let target = args[0].as_str();
+    if target == "list" {
+        println!("available experiments: {}", ALL_EXPERIMENTS.join(", "));
+        return;
+    }
+
+    let mut scale = Scale::Quick;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
+                    .unwrap_or_else(|| {
+                        eprintln!("invalid --scale (smoke|quick|full)");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                })));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage_and_exit();
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<&str> = if target == "all" {
+        // Deduplicate aliases (table2/fig4 and table3/fig6 share drivers).
+        vec![
+            "table1", "table2", "fig5", "table3", "fig7", "fig8", "fig9", "table4", "table5",
+            "table6", "fig10",
+        ]
+    } else {
+        vec![target]
+    };
+
+    for id in ids {
+        eprintln!("=== running {id} (scale: {scale:?}) ===");
+        let started = std::time::Instant::now();
+        match experiments::run(id, scale) {
+            Some(output) => {
+                let md = output.to_markdown();
+                println!("{md}");
+                eprintln!("=== {id} done in {:.1}s ===\n", started.elapsed().as_secs_f64());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.md"));
+                    if let Err(e) = append_to_file(&path, &md) {
+                        eprintln!("failed to write {}: {e}", path.display());
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'");
+                usage_and_exit();
+            }
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: xp <experiment|all|list> [--scale smoke|quick|full] [--out DIR]\n\
+         experiments: {}",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}

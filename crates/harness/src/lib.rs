@@ -1,0 +1,29 @@
+//! # kfac-harness
+//!
+//! Training harness and experiment drivers for the `kfac-rs` reproduction
+//! of *Convolutional Neural Network Training with Distributed K-FAC*
+//! (Pauloski et al., SC 2020).
+//!
+//! * [`trainer`] — the distributed synchronous training loop (Fig. 1 +
+//!   Listing 1): thread-rank replicas, fused gradient allreduce, optional
+//!   K-FAC preconditioning, sharded validation.
+//! * [`presets`] — CPU-tractable stand-ins for the paper's
+//!   CIFAR-10/ResNet-32 and ImageNet/ResNet-50 setups at three scales
+//!   (smoke/quick/full), preserving the paper's budget ratios.
+//! * [`experiments`] — one driver per table and figure of §VI.
+//! * [`report`] — markdown rendering of results.
+//!
+//! Regenerate any experiment with the `xp` binary:
+//!
+//! ```text
+//! cargo run --release -p kfac-harness --bin xp -- table1 --scale quick
+//! cargo run --release -p kfac-harness --bin xp -- all --scale smoke
+//! ```
+
+pub mod experiments;
+pub mod presets;
+pub mod report;
+pub mod trainer;
+
+pub use presets::{CifarSetup, ImagenetSetup, Scale};
+pub use trainer::{train, TrainConfig, TrainResult};

@@ -1,0 +1,214 @@
+//! Markdown rendering for experiment results.
+//!
+//! Every experiment returns typed rows; this module turns them into the
+//! same row/series layout the paper's tables and figures use, and appends
+//! them to a results file for EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple markdown table builder.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format seconds as `MM:SS` or `H:MM:SS`.
+pub fn hms(total_s: f64) -> String {
+    let s = total_s.round() as u64;
+    let (h, m, sec) = (s / 3600, (s % 3600) / 60, s % 60);
+    if h > 0 {
+        format!("{h}:{m:02}:{sec:02}")
+    } else {
+        format!("{m}:{sec:02}")
+    }
+}
+
+/// Format milliseconds with appropriate precision.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2} ms", seconds * 1e3)
+}
+
+/// Render labelled series as a fixed-size ASCII chart (x = sample index,
+/// y = value), so the `fig*` experiments emit actual curves alongside the
+/// row data. Each series is drawn with its own glyph; later series
+/// overwrite earlier ones on collisions.
+pub fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 3);
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        if values.is_empty() {
+            continue;
+        }
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let denom = (values.len() - 1).max(1) as f64;
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let x = ((i as f64 / denom) * (width - 1) as f64).round() as usize;
+            let y = (((v - lo) / span) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - y][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{hi:>8.3} ┤{}", grid[0].iter().collect::<String>());
+    for row in &grid[1..height - 1] {
+        let _ = writeln!(out, "{:>8} ┤{}", "", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "{lo:>8.3} └{}",
+        grid[height - 1].iter().collect::<String>()
+    );
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", GLYPHS[si % GLYPHS.len()], name);
+    }
+    out
+}
+
+/// Append markdown to a results file (creating parent directories).
+pub fn append_to_file(path: &Path, markdown: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{markdown}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.759), "75.9%");
+        assert_eq!(hms(62.0), "1:02");
+        assert_eq!(hms(3723.0), "1:02:03");
+        assert_eq!(ms(0.01234), "12.34 ms");
+    }
+
+    #[test]
+    fn ascii_chart_plots_extremes_and_legend() {
+        let chart = ascii_chart(
+            &[
+                ("up".into(), vec![0.0, 0.5, 1.0]),
+                ("down".into(), vec![1.0, 0.5, 0.0]),
+            ],
+            16,
+            5,
+        );
+        assert!(chart.contains("* = up"));
+        assert!(chart.contains("o = down"));
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+        // Both glyphs appear somewhere on the canvas.
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_and_flat() {
+        assert_eq!(ascii_chart(&[], 10, 4), "(no data)\n");
+        let flat = ascii_chart(&[("c".into(), vec![2.0; 5])], 10, 4);
+        assert!(flat.contains('*'));
+    }
+
+    #[test]
+    fn append_writes_file() {
+        let dir = std::env::temp_dir().join("kfac_report_test");
+        let path = dir.join("out.md");
+        let _ = std::fs::remove_file(&path);
+        append_to_file(&path, "hello").unwrap();
+        append_to_file(&path, "world").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("hello\nworld"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,371 @@
+//! Distributed synchronous training loop.
+//!
+//! Implements the paper's training procedure end-to-end (Fig. 1 +
+//! Listing 1): each rank runs on its own thread with a full model
+//! replica and a disjoint data shard; per iteration it computes
+//! forward/backward on its local mini-batch, allreduces gradients,
+//! optionally applies the K-FAC preconditioner, and takes an SGD step.
+//! Validation accuracy is computed with sharded evaluation and count
+//! allreduce at the end of each epoch.
+
+use kfac::{Kfac, KfacConfig, StageStats};
+use kfac_collectives::{Communicator, LocalComm, ReduceOp, ThreadComm, Traffic, TrafficClass};
+use kfac_data::{batch_of, Dataset, ShardedSampler};
+use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
+use kfac_optim::{LrSchedule, Optimizer, Sgd};
+use std::time::Instant;
+
+/// Full configuration of one training run.
+#[derive(Clone)]
+pub struct TrainConfig {
+    /// Simulated worker count ("GPUs" in the paper's terms); each rank
+    /// is a thread with a model replica.
+    pub ranks: usize,
+    /// Per-rank mini-batch (global batch = ranks × local_batch).
+    pub local_batch: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning-rate schedule (already scaled for the rank count).
+    pub lr: LrSchedule,
+    /// SGD momentum (paper: 0.9).
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Label smoothing (paper: 0.1 on ImageNet, 0 on CIFAR).
+    pub label_smoothing: f32,
+    /// K-FAC preconditioner; `None` trains plain SGD.
+    pub kfac: Option<KfacConfig>,
+    /// Master seed (models, shuffles).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Paper-style defaults for a given worker count and schedule.
+    pub fn new(ranks: usize, local_batch: usize, epochs: usize, lr: LrSchedule) -> Self {
+        TrainConfig {
+            ranks,
+            local_batch,
+            epochs,
+            lr,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            label_smoothing: 0.0,
+            kfac: None,
+            seed: 42,
+        }
+    }
+
+    /// Attach a K-FAC preconditioner.
+    pub fn with_kfac(mut self, cfg: KfacConfig) -> Self {
+        self.kfac = Some(cfg);
+        self
+    }
+}
+
+/// Per-epoch measurements from rank 0.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Validation top-1 accuracy in `[0, 1]` after the epoch.
+    pub val_acc: f64,
+    /// Wall-clock seconds spent in this epoch (training only).
+    pub wall_s: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// Validation accuracy after the final epoch.
+    pub final_val_acc: f64,
+    /// Best validation accuracy over all epochs.
+    pub best_val_acc: f64,
+    /// Total training wall time, seconds.
+    pub total_s: f64,
+    /// Rank-0 communication volumes.
+    pub traffic: Traffic,
+    /// Rank-0 K-FAC stage stats (if K-FAC ran).
+    pub stage_stats: Option<StageStats>,
+}
+
+impl TrainResult {
+    /// First epoch whose validation accuracy reached `target`, if any.
+    pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
+        self.epochs.iter().find(|e| e.val_acc >= target).map(|e| e.epoch)
+    }
+}
+
+/// Average the model's gradients across ranks in one fused allreduce —
+/// the `optimizer.synchronize()` step of Listing 1.
+pub fn allreduce_gradients(model: &mut dyn Layer, comm: &dyn Communicator) {
+    if comm.size() == 1 {
+        return;
+    }
+    let mut flat = Vec::new();
+    model.visit_params("", &mut |_, _, g| flat.extend_from_slice(g));
+    comm.allreduce_tagged(&mut flat, ReduceOp::Average, TrafficClass::Gradient);
+    let mut off = 0;
+    model.visit_params("", &mut |_, _, g| {
+        g.copy_from_slice(&flat[off..off + g.len()]);
+        off += g.len();
+    });
+}
+
+/// Sharded validation: each rank evaluates a slice of the validation
+/// set; correct/total counts are allreduced.
+fn validate(
+    model: &mut Sequential,
+    val: &dyn Dataset,
+    comm: &dyn Communicator,
+    batch: usize,
+) -> f64 {
+    let rank = comm.rank();
+    let world = comm.size();
+    let n = val.len();
+    let per_rank = n.div_ceil(world);
+    let start = (rank * per_rank).min(n);
+    let end = ((rank + 1) * per_rank).min(n);
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut idx = start;
+    while idx < end {
+        let stop = (idx + batch).min(end);
+        let indices: Vec<usize> = (idx..stop).collect();
+        let (x, labels) = batch_of(val, &indices, 0);
+        let out = model.forward(&x, Mode::Eval);
+        correct += kfac_nn::top1_correct(&out, &labels);
+        total += labels.len();
+        idx = stop;
+    }
+
+    let mut counts = [correct as f32, total as f32];
+    comm.allreduce_tagged(&mut counts, ReduceOp::Sum, TrafficClass::Other);
+    counts[0] as f64 / counts[1] as f64
+}
+
+/// Run one rank's training loop.
+fn run_rank(
+    rank: usize,
+    comm: &dyn Communicator,
+    build_model: &(dyn Fn(u64) -> Sequential + Sync),
+    train_ds: &dyn Dataset,
+    val_ds: &dyn Dataset,
+    cfg: &TrainConfig,
+) -> Option<TrainResult> {
+    // Identical replicas: every rank builds from the same seed (the
+    // paper broadcasts initial weights; same-seed construction is the
+    // deterministic equivalent).
+    let mut model = build_model(cfg.seed);
+    let mut optimizer = Sgd::new(cfg.momentum, cfg.weight_decay);
+    let mut kfac = cfg
+        .kfac
+        .clone()
+        .map(|k| Kfac::new(&mut model, k));
+    let criterion = CrossEntropyLoss::with_smoothing(cfg.label_smoothing);
+    let sampler = ShardedSampler::new(
+        train_ds.len(),
+        comm.size(),
+        rank,
+        cfg.local_batch,
+        cfg.seed ^ 0x5a5a,
+    );
+    let iters_per_epoch = sampler.batches_per_epoch();
+
+    let mut records = Vec::with_capacity(cfg.epochs);
+    let t_start = Instant::now();
+
+    for epoch in 0..cfg.epochs {
+        let t_epoch = Instant::now();
+        if let Some(k) = &mut kfac {
+            k.set_epoch(epoch);
+        }
+        let mut loss_sum = 0.0f64;
+        for (bi, indices) in sampler.epoch_batches(epoch).into_iter().enumerate() {
+            let lr = cfg
+                .lr
+                .lr_at(epoch as f32 + bi as f32 / iters_per_epoch as f32);
+            let capture = kfac.as_ref().map(|k| k.needs_capture()).unwrap_or(false);
+            model.zero_grad();
+            model.set_capture(capture);
+
+            let (x, labels) = batch_of(train_ds, &indices, epoch as u64 + 1);
+            let out = model.forward(&x, Mode::Train);
+            let (loss, grad) = criterion.forward(&out, &labels);
+            loss_sum += loss as f64;
+            let _ = model.backward(&grad);
+
+            allreduce_gradients(&mut model, comm);
+            if let Some(k) = &mut kfac {
+                k.step(&mut model, comm, lr);
+            }
+            optimizer.step(&mut model, lr);
+        }
+        let wall_s = t_epoch.elapsed().as_secs_f64();
+
+        let val_acc = validate(&mut model, val_ds, comm, cfg.local_batch.max(32));
+        records.push(EpochRecord {
+            epoch,
+            train_loss: loss_sum / iters_per_epoch.max(1) as f64,
+            val_acc,
+            wall_s,
+        });
+    }
+
+    if rank != 0 {
+        return None;
+    }
+    let best = records.iter().map(|r| r.val_acc).fold(0.0, f64::max);
+    let last = records.last().map(|r| r.val_acc).unwrap_or(0.0);
+    Some(TrainResult {
+        final_val_acc: last,
+        best_val_acc: best,
+        total_s: t_start.elapsed().as_secs_f64(),
+        traffic: comm.traffic(),
+        stage_stats: kfac.map(|k| k.stats().clone()),
+        epochs: records,
+    })
+}
+
+/// Train a model across `cfg.ranks` simulated workers.
+///
+/// `build_model(seed)` must be deterministic: every rank calls it with
+/// the same seed to obtain identical replicas.
+pub fn train(
+    build_model: impl Fn(u64) -> Sequential + Sync,
+    train_ds: &dyn Dataset,
+    val_ds: &dyn Dataset,
+    cfg: &TrainConfig,
+) -> TrainResult {
+    assert!(cfg.ranks >= 1);
+    if cfg.ranks == 1 {
+        let comm = LocalComm::new();
+        return run_rank(0, &comm, &build_model, train_ds, val_ds, cfg)
+            .expect("rank 0 returns");
+    }
+    let comms = ThreadComm::create(cfg.ranks);
+    let build_model = &build_model;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                s.spawn(move || run_rank(rank, comm, build_model, train_ds, val_ds, cfg))
+            })
+            .collect();
+        let mut result = None;
+        for h in handles {
+            if let Some(r) = h.join().expect("rank thread panicked") {
+                result = Some(r);
+            }
+        }
+        result.expect("rank 0 returns a result")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfac_data::synthetic_cifar;
+    use kfac_nn::resnet::resnet_cifar;
+    use kfac_tensor::Rng64;
+
+    fn tiny_cfg(ranks: usize, epochs: usize) -> TrainConfig {
+        TrainConfig::new(
+            ranks,
+            16,
+            epochs,
+            LrSchedule::paper_steps(0.05, vec![epochs * 2]),
+        )
+    }
+
+    fn build(seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        resnet_cifar(1, 4, 10, 3, &mut rng)
+    }
+
+    #[test]
+    fn single_rank_training_learns() {
+        let (train_ds, val_ds) = synthetic_cifar(8, 256, 64, 7);
+        let mut cfg = tiny_cfg(1, 4);
+        cfg.lr.warmup_epochs = 1.0;
+        let result = train(build, &train_ds, &val_ds, &cfg);
+        assert_eq!(result.epochs.len(), 4);
+        // Better than chance (10 classes) after a few epochs.
+        assert!(
+            result.best_val_acc > 0.2,
+            "val acc {} too low",
+            result.best_val_acc
+        );
+        // Loss decreased.
+        assert!(result.epochs.last().unwrap().train_loss < result.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn multi_rank_matches_equivalent_global_batch() {
+        // 2 ranks × batch 8 must follow the same trajectory as 1 rank ×
+        // batch 16 when the data order matches? (Sharding differs, so
+        // only statistical equivalence holds — here we just require both
+        // to learn and to produce valid records.)
+        let (train_ds, val_ds) = synthetic_cifar(8, 256, 64, 7);
+        let mut cfg = tiny_cfg(2, 3);
+        cfg.local_batch = 8;
+        cfg.lr.warmup_epochs = 1.0;
+        let result = train(build, &train_ds, &val_ds, &cfg);
+        assert_eq!(result.epochs.len(), 3);
+        assert!(result.traffic.gradient_bytes > 0, "gradients were exchanged");
+        assert!(result.best_val_acc > 0.12, "above chance: {}", result.best_val_acc);
+    }
+
+    #[test]
+    fn kfac_run_produces_stage_stats_and_traffic_classes() {
+        let (train_ds, val_ds) = synthetic_cifar(8, 128, 32, 9);
+        let mut cfg = tiny_cfg(2, 2);
+        cfg.local_batch = 8;
+        cfg.kfac = Some(KfacConfig {
+            update_freq: 4,
+            ..KfacConfig::default()
+        });
+        let result = train(build, &train_ds, &val_ds, &cfg);
+        let stats = result.stage_stats.expect("kfac ran");
+        assert!(stats.steps > 0);
+        assert!(stats.factor_updates > 0);
+        assert!(stats.eig_updates > 0);
+        assert!(result.traffic.factor_bytes > 0);
+        assert!(result.traffic.eigen_bytes > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train_ds, val_ds) = synthetic_cifar(8, 128, 32, 3);
+        let cfg = tiny_cfg(1, 2);
+        let a = train(build, &train_ds, &val_ds, &cfg);
+        let b = train(build, &train_ds, &val_ds, &cfg);
+        assert_eq!(a.final_val_acc, b.final_val_acc);
+        for (ra, rb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ra.train_loss, rb.train_loss);
+        }
+    }
+
+    #[test]
+    fn epochs_to_reach_finds_threshold() {
+        let r = TrainResult {
+            epochs: vec![
+                EpochRecord { epoch: 0, train_loss: 1.0, val_acc: 0.3, wall_s: 1.0 },
+                EpochRecord { epoch: 1, train_loss: 0.5, val_acc: 0.6, wall_s: 1.0 },
+                EpochRecord { epoch: 2, train_loss: 0.4, val_acc: 0.7, wall_s: 1.0 },
+            ],
+            final_val_acc: 0.7,
+            best_val_acc: 0.7,
+            total_s: 3.0,
+            traffic: Traffic::default(),
+            stage_stats: None,
+        };
+        assert_eq!(r.epochs_to_reach(0.6), Some(1));
+        assert_eq!(r.epochs_to_reach(0.9), None);
+    }
+}

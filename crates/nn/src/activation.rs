@@ -1,0 +1,120 @@
+//! Activation functions (ReLU).
+
+use crate::layer::{KfacEligible, Layer, Mode};
+use kfac_tensor::Tensor4;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+pub struct ReLU {
+    /// Mask of positive inputs from the last training forward.
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// New ReLU.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Default for ReLU {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        let mut out = Tensor4::zeros(n, c, h, w);
+        if mode == Mode::Train {
+            let mut mask = vec![false; input.len()];
+            for ((o, &v), m) in out
+                .as_mut_slice()
+                .iter_mut()
+                .zip(input.as_slice())
+                .zip(mask.iter_mut())
+            {
+                if v > 0.0 {
+                    *o = v;
+                    *m = true;
+                }
+            }
+            self.mask = Some(mask);
+        } else {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                *o = v.max(0.0);
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
+        let mask = self.mask.take().expect("backward without training forward");
+        assert_eq!(mask.len(), grad_output.len());
+        let (n, c, h, w) = grad_output.shape();
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for ((o, &g), &m) in dx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(&mask)
+        {
+            if m {
+                *o = g;
+            }
+        }
+        dx
+    }
+
+    fn output_shape(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> (usize, usize, usize, usize) {
+        input
+    }
+
+    fn visit_params(
+        &mut self,
+        _prefix: &str,
+        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+    }
+
+    fn set_capture(&mut self, _on: bool) {}
+
+    fn collect_kfac<'a>(&'a mut self, _out: &mut Vec<&'a mut dyn KfacEligible>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tensor_from;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = tensor_from(1, 1, 2, 2, &[-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = tensor_from(1, 1, 2, 2, &[-1.0, 0.5, 2.0, -3.0]);
+        let _ = r.forward(&x, Mode::Train);
+        let g = tensor_from(1, 1, 2, 2, &[10.0, 10.0, 10.0, 10.0]);
+        let dx = r.backward(&g);
+        assert_eq!(dx.as_slice(), &[0.0, 10.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        // Subgradient convention: x = 0 → dx = 0.
+        let mut r = ReLU::new();
+        let x = tensor_from(1, 1, 1, 1, &[0.0]);
+        let _ = r.forward(&x, Mode::Train);
+        let dx = r.backward(&tensor_from(1, 1, 1, 1, &[5.0]));
+        assert_eq!(dx.as_slice(), &[0.0]);
+    }
+}

@@ -1,0 +1,378 @@
+//! 2-D convolution (im2col + GEMM) with K-FAC capture.
+//!
+//! The K-FAC factors for convolution follow Grosse & Martens'
+//! convolutional factorization (the paper's \[33\]): the activation factor is
+//! the second moment of the receptive-field patches (the im2col rows,
+//! bias-augmented) and the gradient factor is the second moment of the
+//! per-position output gradients. The paper's implementation inherits this
+//! from kfac-pytorch; we implement it directly.
+
+use crate::im2col::{col2im, conv_out_dim, im2col};
+use crate::layer::{Capture, KfacEligible, Layer, Mode};
+use kfac_tensor::{init, Matrix, Rng64, Tensor4};
+
+/// `Conv2d(c_in → c_out, k×k, stride, pad)`, square kernels.
+pub struct Conv2d {
+    name: String,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// Row-major `c_out × (c_in·k·k)`.
+    weight: Vec<f32>,
+    bias: Option<Vec<f32>>,
+    grad_weight: Vec<f32>,
+    grad_bias: Option<Vec<f32>>,
+    /// Cached patch matrix from the last training forward.
+    cols: Option<Matrix>,
+    in_shape: Option<(usize, usize, usize, usize)>,
+    capture: Capture,
+}
+
+impl Conv2d {
+    /// Create with Kaiming-normal weights (the ResNet initialization).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0);
+        let fan_in = c_in * k * k;
+        let mut weight = vec![0.0; c_out * fan_in];
+        init::kaiming_normal(&mut weight, fan_in, rng);
+        let bias_v = if bias { Some(vec![0.0; c_out]) } else { None };
+        Conv2d {
+            name: name.into(),
+            c_in,
+            c_out,
+            k,
+            stride,
+            pad,
+            grad_weight: vec![0.0; c_out * fan_in],
+            grad_bias: bias_v.as_ref().map(|b| vec![0.0; b.len()]),
+            weight,
+            bias: bias_v,
+            cols: None,
+            in_shape: None,
+            capture: Capture::default(),
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    fn weight_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.c_out, self.c_in * self.k * self.k, self.weight.clone())
+    }
+
+    /// Reshape NCHW gradient to GEMM row layout `(n·oh·ow) × c_out`,
+    /// matching the im2col row order.
+    fn grad_to_rows(grad: &Tensor4) -> Matrix {
+        let (n, c, oh, ow) = grad.shape();
+        let mut m = Matrix::zeros(n * oh * ow, c);
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = grad.plane(ni, ci);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        m[((ni * oh + oy) * ow + ox, ci)] = plane[oy * ow + ox];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Reshape GEMM rows `(n·oh·ow) × c_out` back to NCHW.
+    fn rows_to_tensor(rows: &Matrix, n: usize, c: usize, oh: usize, ow: usize) -> Tensor4 {
+        let mut t = Tensor4::zeros(n, c, oh, ow);
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = rows.row((ni * oh + oy) * ow + ox);
+                    for ci in 0..c {
+                        *t.at_mut(ni, ci, oy, ox) = row[ci];
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        assert_eq!(c, self.c_in, "channel mismatch in {}", self.name);
+        let oh = conv_out_dim(h, self.k, self.stride, self.pad);
+        let ow = conv_out_dim(w, self.k, self.stride, self.pad);
+
+        let cols = im2col(input, self.k, self.stride, self.pad);
+        let wm = self.weight_matrix();
+        let mut y = cols.matmul_nt(&wm); // rows × c_out
+
+        if let Some(b) = &self.bias {
+            for r in 0..y.rows() {
+                let row = y.row_mut(r);
+                for (v, &bj) in row.iter_mut().zip(b.iter()) {
+                    *v += bj;
+                }
+            }
+        }
+
+        let out = Self::rows_to_tensor(&y, n, self.c_out, oh, ow);
+
+        if mode == Mode::Train {
+            if self.capture.enabled {
+                // Bias-augmented patch matrix for the activation factor.
+                let extra = usize::from(self.bias.is_some());
+                if extra == 1 {
+                    let mut a = Matrix::zeros(cols.rows(), cols.cols() + 1);
+                    for r in 0..cols.rows() {
+                        a.row_mut(r)[..cols.cols()].copy_from_slice(cols.row(r));
+                        a.row_mut(r)[cols.cols()] = 1.0;
+                    }
+                    self.capture.a = Some(a);
+                } else {
+                    self.capture.a = Some(cols.clone());
+                }
+                self.capture.g = None;
+            }
+            self.cols = Some(cols);
+            self.in_shape = Some((n, c, h, w));
+        }
+
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
+        let cols = self.cols.take().expect("backward without forward");
+        let in_shape = self.in_shape.expect("backward without forward");
+        let gy = Self::grad_to_rows(grad_output); // rows × c_out
+
+        if self.capture.enabled {
+            // Undo the mean-loss 1/batch so G is the per-example gradient
+            // covariance; batch is n, not rows = n·oh·ow.
+            let mut g = gy.clone();
+            g.scale(in_shape.0 as f32);
+            self.capture.g = Some(g);
+        }
+
+        // dW = gyᵀ · cols  (c_out × c_in·k·k)
+        let dw = gy.matmul_tn(&cols);
+        for (gw, d) in self.grad_weight.iter_mut().zip(dw.as_slice()) {
+            *gw += d;
+        }
+        if let Some(gb) = &mut self.grad_bias {
+            for r in 0..gy.rows() {
+                for (b, &v) in gb.iter_mut().zip(gy.row(r)) {
+                    *b += v;
+                }
+            }
+        }
+
+        // dX = col2im(gy · W)
+        let wm = self.weight_matrix();
+        let dcols = gy.matmul(&wm); // rows × (c_in·k·k)
+        col2im(&dcols, in_shape, self.k, self.stride, self.pad)
+    }
+
+    fn output_shape(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> (usize, usize, usize, usize) {
+        let (n, _c, h, w) = input;
+        (
+            n,
+            self.c_out,
+            conv_out_dim(h, self.k, self.stride, self.pad),
+            conv_out_dim(w, self.k, self.stride, self.pad),
+        )
+    }
+
+    fn visit_params(
+        &mut self,
+        prefix: &str,
+        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+        let wname = format!("{prefix}{}.weight", self.name);
+        f(&wname, &mut self.weight, &mut self.grad_weight);
+        if let (Some(b), Some(gb)) = (&mut self.bias, &mut self.grad_bias) {
+            let bname = format!("{prefix}{}.bias", self.name);
+            f(&bname, b, gb);
+        }
+    }
+
+    fn set_capture(&mut self, on: bool) {
+        self.capture.enabled = on;
+        if on {
+            self.capture.clear();
+        }
+    }
+
+    fn collect_kfac<'a>(&'a mut self, out: &mut Vec<&'a mut dyn KfacEligible>) {
+        out.push(self);
+    }
+}
+
+impl KfacEligible for Conv2d {
+    fn kfac_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn factor_dims(&self) -> (usize, usize) {
+        (
+            self.c_in * self.k * self.k + usize::from(self.bias.is_some()),
+            self.c_out,
+        )
+    }
+
+    fn has_capture(&self) -> bool {
+        self.capture.complete()
+    }
+
+    fn compute_factors(&self) -> (Matrix, Matrix) {
+        let a = self.capture.a.as_ref().expect("activation not captured");
+        let g = self.capture.g.as_ref().expect("gradient not captured");
+        let m = a.rows() as f32;
+        let mut fa = a.gram();
+        fa.scale(1.0 / m);
+        let mut fg = g.gram();
+        fg.scale(1.0 / m);
+        (fa, fg)
+    }
+
+    fn grad_matrix(&self) -> Matrix {
+        let fan_in = self.c_in * self.k * self.k;
+        let extra = usize::from(self.bias.is_some());
+        let mut gm = Matrix::zeros(self.c_out, fan_in + extra);
+        for o in 0..self.c_out {
+            gm.row_mut(o)[..fan_in]
+                .copy_from_slice(&self.grad_weight[o * fan_in..(o + 1) * fan_in]);
+            if extra == 1 {
+                gm.row_mut(o)[fan_in] = self.grad_bias.as_ref().expect("bias grad")[o];
+            }
+        }
+        gm
+    }
+
+    fn set_grad_matrix(&mut self, grad: &Matrix) {
+        let fan_in = self.c_in * self.k * self.k;
+        let extra = usize::from(self.bias.is_some());
+        assert_eq!(
+            grad.shape(),
+            (self.c_out, fan_in + extra),
+            "preconditioned gradient shape mismatch in {}",
+            self.name
+        );
+        for o in 0..self.c_out {
+            self.grad_weight[o * fan_in..(o + 1) * fan_in]
+                .copy_from_slice(&grad.row(o)[..fan_in]);
+            if extra == 1 {
+                self.grad_bias.as_mut().expect("bias grad")[o] = grad.row(o)[fan_in];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::finite_diff_check;
+
+    #[test]
+    fn output_shape_same_padding() {
+        let mut rng = Rng64::new(1);
+        let c = Conv2d::new("c", 3, 8, 3, 1, 1, false, &mut rng);
+        assert_eq!(c.output_shape((2, 3, 8, 8)), (2, 8, 8, 8));
+    }
+
+    #[test]
+    fn output_shape_stride2() {
+        let mut rng = Rng64::new(2);
+        let c = Conv2d::new("c", 4, 8, 3, 2, 1, false, &mut rng);
+        assert_eq!(c.output_shape((1, 4, 8, 8)), (1, 8, 4, 4));
+    }
+
+    #[test]
+    fn gradient_check_3x3() {
+        let mut rng = Rng64::new(3);
+        let c = Conv2d::new("c", 2, 3, 3, 1, 1, true, &mut rng);
+        finite_diff_check(Box::new(c), (2, 2, 5, 5), 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn gradient_check_stride2_no_bias() {
+        let mut rng = Rng64::new(4);
+        let c = Conv2d::new("c", 3, 4, 3, 2, 1, false, &mut rng);
+        finite_diff_check(Box::new(c), (2, 3, 6, 6), 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn gradient_check_1x1() {
+        let mut rng = Rng64::new(5);
+        let c = Conv2d::new("c", 4, 2, 1, 1, 0, false, &mut rng);
+        finite_diff_check(Box::new(c), (2, 4, 4, 4), 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn factor_dims_follow_kfc() {
+        let mut rng = Rng64::new(6);
+        let c = Conv2d::new("c", 16, 32, 3, 1, 1, false, &mut rng);
+        assert_eq!(c.factor_dims(), (16 * 9, 32));
+        let cb = Conv2d::new("cb", 16, 32, 3, 1, 1, true, &mut rng);
+        assert_eq!(cb.factor_dims(), (16 * 9 + 1, 32));
+    }
+
+    #[test]
+    fn capture_factor_shapes() {
+        let mut rng = Rng64::new(7);
+        let mut c = Conv2d::new("c", 2, 3, 3, 1, 1, true, &mut rng);
+        c.set_capture(true);
+        let x = crate::testutil::random_tensor((2, 2, 4, 4), &mut rng);
+        let y = c.forward(&x, Mode::Train);
+        let gy = crate::testutil::random_tensor(y.shape(), &mut rng);
+        let _ = c.backward(&gy);
+        assert!(c.has_capture());
+        let (a, g) = c.compute_factors();
+        assert_eq!(a.shape(), (19, 19)); // 2·3·3 + 1 bias
+        assert_eq!(g.shape(), (3, 3));
+        assert_eq!(a.asymmetry(), 0.0);
+        assert_eq!(g.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn grad_matrix_round_trip() {
+        let mut rng = Rng64::new(8);
+        let mut c = Conv2d::new("c", 1, 2, 2, 1, 0, true, &mut rng);
+        for (i, g) in c.grad_weight.iter_mut().enumerate() {
+            *g = i as f32;
+        }
+        c.grad_bias = Some(vec![100.0, 200.0]);
+        let gm = c.grad_matrix();
+        assert_eq!(gm.shape(), (2, 5));
+        assert_eq!(gm.row(0), &[0.0, 1.0, 2.0, 3.0, 100.0]);
+        c.set_grad_matrix(&gm);
+        assert_eq!(c.grad_weight[7], 7.0);
+        assert_eq!(c.grad_bias.as_ref().unwrap()[1], 200.0);
+    }
+
+    #[test]
+    fn no_capture_when_disabled() {
+        let mut rng = Rng64::new(9);
+        let mut c = Conv2d::new("c", 1, 1, 1, 1, 0, false, &mut rng);
+        let x = crate::testutil::random_tensor((1, 1, 2, 2), &mut rng);
+        let y = c.forward(&x, Mode::Train);
+        let _ = c.backward(&crate::testutil::random_tensor(y.shape(), &mut rng));
+        assert!(!c.has_capture());
+    }
+}

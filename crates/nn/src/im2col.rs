@@ -1,0 +1,251 @@
+//! im2col / col2im: convolution as matrix multiplication.
+//!
+//! Convolutions are lowered to GEMM through the standard im2col transform
+//! (the same lowering cuDNN's implicit-GEMM kernels perform on the paper's
+//! V100s). Crucially for K-FAC, the im2col *patch matrix* is exactly the
+//! expanded-activation matrix of Grosse & Martens' convolutional
+//! factorization [33]: each row is one receptive-field patch at one
+//! spatial position of one example, so the activation factor is simply
+//! `A = XᵀX / rows`.
+//!
+//! Row order is `(n, oh, ow)`; column order `(c, kh, kw)` — the Conv2d
+//! layer and capture code both rely on this layout.
+
+use kfac_tensor::{Matrix, Tensor4};
+use rayon::prelude::*;
+
+/// Output spatial size for one dimension.
+#[inline]
+pub fn conv_out_dim(input: usize, k: usize, stride: usize, pad: usize) -> usize {
+    assert!(input + 2 * pad >= k, "kernel larger than padded input");
+    (input + 2 * pad - k) / stride + 1
+}
+
+/// Expand `input` into patch rows: `(n · oh · ow) × (c · k · k)`.
+pub fn im2col(input: &Tensor4, k: usize, stride: usize, pad: usize) -> Matrix {
+    let (n, c, h, w) = input.shape();
+    let oh = conv_out_dim(h, k, stride, pad);
+    let ow = conv_out_dim(w, k, stride, pad);
+    let cols = c * k * k;
+    let rows = n * oh * ow;
+    let mut out = Matrix::zeros(rows, cols);
+
+    // Parallelize over samples: each sample writes a disjoint row block.
+    out.as_mut_slice()
+        .par_chunks_mut(oh * ow * cols)
+        .enumerate()
+        .for_each(|(ni, block)| {
+            let sample = input.sample(ni);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &mut block[(oy * ow + ox) * cols..(oy * ow + ox + 1) * cols];
+                    let iy0 = (oy * stride) as isize - pad as isize;
+                    let ix0 = (ox * stride) as isize - pad as isize;
+                    let mut col = 0usize;
+                    for ci in 0..c {
+                        let plane = &sample[ci * h * w..(ci + 1) * h * w];
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                row[col] = if iy >= 0
+                                    && (iy as usize) < h
+                                    && ix >= 0
+                                    && (ix as usize) < w
+                                {
+                                    plane[iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                col += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Scatter-add patch rows back to an input-shaped tensor: the adjoint of
+/// [`im2col`], used for the convolution input gradient.
+pub fn col2im(
+    cols: &Matrix,
+    in_shape: (usize, usize, usize, usize),
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor4 {
+    let (n, c, h, w) = in_shape;
+    let oh = conv_out_dim(h, k, stride, pad);
+    let ow = conv_out_dim(w, k, stride, pad);
+    assert_eq!(cols.rows(), n * oh * ow, "col2im row count mismatch");
+    assert_eq!(cols.cols(), c * k * k, "col2im column count mismatch");
+
+    let mut out = Tensor4::zeros(n, c, h, w);
+    let ncols = cols.cols();
+    // Parallel over samples: each sample's scatter targets are disjoint.
+    out.as_mut_slice()
+        .par_chunks_mut(c * h * w)
+        .enumerate()
+        .for_each(|(ni, sample)| {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = cols.row((ni * oh + oy) * ow + ox);
+                    debug_assert_eq!(row.len(), ncols);
+                    let iy0 = (oy * stride) as isize - pad as isize;
+                    let ix0 = (ox * stride) as isize - pad as isize;
+                    let mut col = 0usize;
+                    for ci in 0..c {
+                        let plane = &mut sample[ci * h * w..(ci + 1) * h * w];
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                                {
+                                    plane[iy as usize * w + ix as usize] += row[col];
+                                }
+                                col += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfac_tensor::Rng64;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8); // same-padding 3x3
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4); // stride-2 downsample
+        assert_eq!(conv_out_dim(8, 1, 1, 0), 8); // pointwise
+        assert_eq!(conv_out_dim(7, 3, 2, 1), 4);
+    }
+
+    #[test]
+    fn identity_kernel_extraction() {
+        // 1x1 kernel, no padding: rows are just the channel vectors.
+        let data: Vec<f32> = (0..1 * 2 * 2 * 2).map(|i| i as f32).collect();
+        let t = Tensor4::from_vec(1, 2, 2, 2, data);
+        let m = im2col(&t, 1, 1, 0);
+        assert_eq!(m.shape(), (4, 2));
+        // Position (0,0): channels (0, 4); position (1,1): channels (3, 7).
+        assert_eq!(m.row(0), &[0.0, 4.0]);
+        assert_eq!(m.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn padding_zero_fills() {
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = im2col(&t, 3, 1, 1);
+        assert_eq!(m.shape(), (4, 9));
+        // Top-left position: only bottom-right 2x2 of the kernel sees data.
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_as_gemm_matches_direct_convolution() {
+        // Direct nested-loop convolution vs im2col+GEMM.
+        let mut rng = Rng64::new(1);
+        let (n, c, h, w) = (2, 3, 5, 5);
+        let (c_out, k, stride, pad) = (4, 3, 2, 1);
+        let x = Tensor4::from_vec(
+            n,
+            c,
+            h,
+            w,
+            (0..n * c * h * w).map(|_| rng.normal_f32()).collect(),
+        );
+        let weight: Vec<f32> = (0..c_out * c * k * k).map(|_| rng.normal_f32()).collect();
+
+        let oh = conv_out_dim(h, k, stride, pad);
+        let ow = conv_out_dim(w, k, stride, pad);
+
+        // GEMM path.
+        let cols = im2col(&x, k, stride, pad);
+        let wm = Matrix::from_vec(c_out, c * k * k, weight.clone());
+        let y = cols.matmul_nt(&wm); // (n*oh*ow) × c_out
+
+        // Direct path.
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f64;
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy >= 0
+                                        && (iy as usize) < h
+                                        && ix >= 0
+                                        && (ix as usize) < w
+                                    {
+                                        let xv = x.at(ni, ci, iy as usize, ix as usize);
+                                        let wv =
+                                            weight[((co * c + ci) * k + ky) * k + kx];
+                                        acc += xv as f64 * wv as f64;
+                                    }
+                                }
+                            }
+                        }
+                        let row = (ni * oh + oy) * ow + ox;
+                        assert!(
+                            (y[(row, co)] - acc as f32).abs() < 1e-3,
+                            "mismatch at n{} c{} y{} x{}",
+                            ni,
+                            co,
+                            oy,
+                            ox
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ — the defining adjoint property,
+        // which is exactly what the backward pass needs.
+        let mut rng = Rng64::new(2);
+        let shape = (2, 2, 4, 4);
+        let (k, stride, pad) = (3, 1, 1);
+        let x = Tensor4::from_vec(
+            shape.0,
+            shape.1,
+            shape.2,
+            shape.3,
+            (0..2 * 2 * 16).map(|_| rng.normal_f32()).collect(),
+        );
+        let fx = im2col(&x, k, stride, pad);
+        let y = Matrix::from_vec(
+            fx.rows(),
+            fx.cols(),
+            (0..fx.len()).map(|_| rng.normal_f32()).collect(),
+        );
+        let aty = col2im(&y, shape, k, stride, pad);
+
+        let lhs: f64 = fx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(aty.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+}

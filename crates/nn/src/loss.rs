@@ -1,0 +1,155 @@
+//! Softmax cross-entropy with label smoothing.
+//!
+//! The paper smooths labels with factor 0.1 for the ImageNet runs (§VI-C1).
+//! The loss is averaged over the mini-batch, so the logits gradient carries
+//! the `1/N` factor; K-FAC-eligible layers undo it when capturing `g`
+//! (see [`crate::layer`]).
+
+use kfac_tensor::Tensor4;
+
+/// Mean softmax cross-entropy over the batch, with optional label
+/// smoothing.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossEntropyLoss {
+    /// Smoothing factor `ε`: the target distribution is
+    /// `(1 − ε)·onehot + ε/K`.
+    pub label_smoothing: f32,
+}
+
+impl CrossEntropyLoss {
+    /// Plain cross-entropy.
+    pub fn new() -> Self {
+        CrossEntropyLoss {
+            label_smoothing: 0.0,
+        }
+    }
+
+    /// Cross-entropy with label smoothing `eps` (the paper uses 0.1).
+    pub fn with_smoothing(eps: f32) -> Self {
+        assert!((0.0..1.0).contains(&eps));
+        CrossEntropyLoss {
+            label_smoothing: eps,
+        }
+    }
+
+    /// Compute `(mean loss, dL/dlogits)` for logits `(N, K, 1, 1)` and
+    /// integer class targets.
+    pub fn forward(&self, logits: &Tensor4, targets: &[usize]) -> (f32, Tensor4) {
+        let (n, k, h, w) = logits.shape();
+        assert_eq!((h, w), (1, 1), "logits must be (N, K, 1, 1)");
+        assert_eq!(targets.len(), n, "target count mismatch");
+        let eps = self.label_smoothing;
+        let off = eps / k as f32;
+        let on = 1.0 - eps + off;
+
+        let mut grad = Tensor4::zeros(n, k, 1, 1);
+        let mut total = 0.0f64;
+        let inv_n = 1.0 / n as f32;
+
+        for i in 0..n {
+            let row = &logits.as_slice()[i * k..(i + 1) * k];
+            let target = targets[i];
+            assert!(target < k, "target {target} out of range for {k} classes");
+
+            // Numerically stable log-softmax.
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let sum_exp: f64 = row.iter().map(|&v| ((v - max) as f64).exp()).sum();
+            let log_z = (sum_exp.ln() + max as f64) as f32;
+
+            // Smoothed target distribution t: off everywhere, on at target.
+            // loss_i = −Σ_c t_c · (logit_c − log_z)
+            let mut loss_i = 0.0f64;
+            for (c, &v) in row.iter().enumerate() {
+                let t = if c == target { on } else { off };
+                let logp = v - log_z;
+                loss_i -= (t * logp) as f64;
+                // d loss_i / d logit_c = softmax_c − t_c; mean over batch.
+                let p = (((v - max) as f64).exp() / sum_exp) as f32;
+                grad.as_mut_slice()[i * k + c] = (p - t) * inv_n;
+            }
+            total += loss_i;
+        }
+
+        ((total / n as f64) as f32, grad)
+    }
+}
+
+impl Default for CrossEntropyLoss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tensor_from;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let loss = CrossEntropyLoss::new();
+        let logits = tensor_from(2, 4, 1, 1, &[0.0; 8]);
+        let (l, _g) = loss.forward(&logits, &[1, 3]);
+        assert!((l - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_sample() {
+        let loss = CrossEntropyLoss::with_smoothing(0.1);
+        let logits = tensor_from(1, 3, 1, 1, &[1.0, -2.0, 0.5]);
+        let (_l, g) = loss.forward(&logits, &[2]);
+        let s: f32 = g.as_slice().iter().sum();
+        assert!(s.abs() < 1e-6, "softmax − target sums to zero: {s}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = CrossEntropyLoss::with_smoothing(0.1);
+        let base = [1.0f32, -0.5, 2.0, 0.3, -1.0, 0.7];
+        let targets = [2usize, 0];
+        let logits = tensor_from(2, 3, 1, 1, &base);
+        let (_l, g) = loss.forward(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut plus = base;
+            plus[i] += eps;
+            let mut minus = base;
+            minus[i] -= eps;
+            let (lp, _) = loss.forward(&tensor_from(2, 3, 1, 1, &plus), &targets);
+            let (lm, _) = loss.forward(&tensor_from(2, 3, 1, 1, &minus), &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - g.as_slice()[i]).abs() < 1e-3,
+                "coord {i}: {numeric} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss = CrossEntropyLoss::new();
+        let logits = tensor_from(1, 3, 1, 1, &[10.0, -10.0, -10.0]);
+        let (l, _) = loss.forward(&logits, &[0]);
+        assert!(l < 1e-3);
+        let (l_wrong, _) = loss.forward(&tensor_from(1, 3, 1, 1, &[10.0, -10.0, -10.0]), &[1]);
+        assert!(l_wrong > 10.0);
+    }
+
+    #[test]
+    fn smoothing_lower_bounds_loss() {
+        // With smoothing, even a perfect prediction keeps positive loss.
+        let loss = CrossEntropyLoss::with_smoothing(0.1);
+        let logits = tensor_from(1, 2, 1, 1, &[30.0, -30.0]);
+        let (l, _) = loss.forward(&logits, &[0]);
+        assert!(l > 1.0, "smoothed loss stays bounded away from zero: {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target 5 out of range")]
+    fn bad_target_panics() {
+        let loss = CrossEntropyLoss::new();
+        let logits = tensor_from(1, 3, 1, 1, &[0.0; 3]);
+        let _ = loss.forward(&logits, &[5]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Pooling layers: max pooling and global average pooling.
+
+use crate::layer::{KfacEligible, Layer, Mode};
+use kfac_tensor::Tensor4;
+
+/// `MaxPool2d(k, stride)` without padding.
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    /// For each output element, the flat input offset of its argmax.
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl MaxPool2d {
+    /// Create a max-pool with square window `k` and the given stride.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        MaxPool2d {
+            k,
+            stride,
+            argmax: None,
+            in_shape: None,
+        }
+    }
+
+    fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.k && w >= self.k, "pool window larger than input");
+        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        let (oh, ow) = self.out_dims(h, w);
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = input.plane(ni, ci);
+                let base = input.offset(ni, ci, 0, 0);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0usize;
+                        for ky in 0..self.k {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..self.k {
+                                let ix = ox * self.stride + kx;
+                                let v = plane[iy * w + ix];
+                                if v > best {
+                                    best = v;
+                                    best_off = base + iy * w + ix;
+                                }
+                            }
+                        }
+                        *out.at_mut(ni, ci, oy, ox) = best;
+                        argmax[oi] = best_off;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+
+        if mode == Mode::Train {
+            self.argmax = Some(argmax);
+            self.in_shape = Some((n, c, h, w));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
+        let argmax = self.argmax.take().expect("backward without forward");
+        let (n, c, h, w) = self.in_shape.expect("backward without forward");
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        // grad_output iterates in the same (n, c, oy, ox) order as argmax
+        // was recorded.
+        for (&g, &off) in grad_output.as_slice().iter().zip(&argmax) {
+            dx.as_mut_slice()[off] += g;
+        }
+        dx
+    }
+
+    fn output_shape(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> (usize, usize, usize, usize) {
+        let (n, c, h, w) = input;
+        let (oh, ow) = self.out_dims(h, w);
+        (n, c, oh, ow)
+    }
+
+    fn visit_params(
+        &mut self,
+        _prefix: &str,
+        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+    }
+
+    fn set_capture(&mut self, _on: bool) {}
+
+    fn collect_kfac<'a>(&'a mut self, _out: &mut Vec<&'a mut dyn KfacEligible>) {}
+}
+
+/// Global average pooling: `(N, C, H, W) → (N, C, 1, 1)`, the head of
+/// every ResNet.
+pub struct GlobalAvgPool {
+    in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// New global average pool.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_shape: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        let mut out = Tensor4::zeros(n, c, 1, 1);
+        let inv = 1.0 / (h * w) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                let s: f32 = input.plane(ni, ci).iter().sum();
+                *out.at_mut(ni, ci, 0, 0) = s * inv;
+            }
+        }
+        if mode == Mode::Train {
+            self.in_shape = Some((n, c, h, w));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape.take().expect("backward without forward");
+        let inv = 1.0 / (h * w) as f32;
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_output.at(ni, ci, 0, 0) * inv;
+                for v in dx.plane_mut(ni, ci) {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn output_shape(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> (usize, usize, usize, usize) {
+        (input.0, input.1, 1, 1)
+    }
+
+    fn visit_params(
+        &mut self,
+        _prefix: &str,
+        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+    }
+
+    fn set_capture(&mut self, _on: bool) {}
+
+    fn collect_kfac<'a>(&'a mut self, _out: &mut Vec<&'a mut dyn KfacEligible>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{finite_diff_check, tensor_from};
+    use kfac_tensor::Rng64;
+
+    #[test]
+    fn maxpool_known_values() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = tensor_from(
+            1,
+            1,
+            4,
+            4,
+            &[
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 1, 2, 2));
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = tensor_from(1, 1, 2, 2, &[1.0, 9.0, 3.0, 4.0]);
+        let _ = p.forward(&x, Mode::Train);
+        let dx = p.backward(&tensor_from(1, 1, 1, 1, &[5.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        let mut rng = Rng64::new(1);
+        let p = MaxPool2d::new(2, 2);
+        finite_diff_check(Box::new(p), (2, 2, 4, 4), 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn gap_known_values() {
+        let mut p = GlobalAvgPool::new();
+        let x = tensor_from(1, 2, 2, 2, &[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn gap_gradient_check() {
+        let mut rng = Rng64::new(2);
+        let p = GlobalAvgPool::new();
+        finite_diff_check(Box::new(p), (2, 3, 3, 3), 5e-2, &mut rng);
+    }
+}

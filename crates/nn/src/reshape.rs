@@ -1,0 +1,74 @@
+//! Shape adapters (Flatten).
+
+use crate::layer::{KfacEligible, Layer, Mode};
+use kfac_tensor::Tensor4;
+
+/// `(N, C, H, W) → (N, C·H·W, 1, 1)`: bridges convolutional features to
+/// `Linear` heads.
+pub struct Flatten {
+    in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let (n, c, h, w) = input.shape();
+        if mode == Mode::Train {
+            self.in_shape = Some((n, c, h, w));
+        }
+        Tensor4::from_vec(n, c * h * w, 1, 1, input.as_slice().to_vec())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape.take().expect("backward without forward");
+        Tensor4::from_vec(n, c, h, w, grad_output.as_slice().to_vec())
+    }
+
+    fn output_shape(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> (usize, usize, usize, usize) {
+        (input.0, input.1 * input.2 * input.3, 1, 1)
+    }
+
+    fn visit_params(
+        &mut self,
+        _prefix: &str,
+        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+    }
+
+    fn set_capture(&mut self, _on: bool) {}
+
+    fn collect_kfac<'a>(&'a mut self, _out: &mut Vec<&'a mut dyn KfacEligible>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tensor_from;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = tensor_from(2, 2, 1, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (2, 4, 1, 1));
+        assert_eq!(y.as_slice(), x.as_slice());
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+}

@@ -1,0 +1,161 @@
+//! Sequential container.
+
+use crate::layer::{KfacEligible, Layer, Mode};
+use kfac_tensor::Tensor4;
+
+/// A chain of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Build from a layer list.
+    pub fn from_layers(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn output_shape(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> (usize, usize, usize, usize) {
+        self.layers
+            .iter()
+            .fold(input, |shape, l| l.output_shape(shape))
+    }
+
+    fn visit_params(
+        &mut self,
+        prefix: &str,
+        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+        for layer in &mut self.layers {
+            layer.visit_params(prefix, f);
+        }
+    }
+
+    fn set_capture(&mut self, on: bool) {
+        for layer in &mut self.layers {
+            layer.set_capture(on);
+        }
+    }
+
+    fn collect_kfac<'a>(&'a mut self, out: &mut Vec<&'a mut dyn KfacEligible>) {
+        for layer in &mut self.layers {
+            layer.collect_kfac(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ReLU;
+    use crate::linear::Linear;
+    use crate::testutil::{finite_diff_check, tensor_from};
+    use kfac_tensor::Rng64;
+
+    fn mlp(rng: &mut Rng64) -> Sequential {
+        Sequential::from_layers(vec![
+            Box::new(Linear::new("fc1", 4, 6, true, rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new("fc2", 6, 3, true, rng)),
+        ])
+    }
+
+    #[test]
+    fn composes_shapes() {
+        let mut rng = Rng64::new(1);
+        let m = mlp(&mut rng);
+        assert_eq!(m.output_shape((5, 4, 1, 1)), (5, 3, 1, 1));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn gradient_check_through_chain() {
+        let mut rng = Rng64::new(2);
+        let m = mlp(&mut rng);
+        finite_diff_check(Box::new(m), (3, 4, 1, 1), 5e-2, &mut rng);
+    }
+
+    #[test]
+    fn collects_kfac_in_structural_order() {
+        let mut rng = Rng64::new(3);
+        let mut m = mlp(&mut rng);
+        let mut v = Vec::new();
+        m.collect_kfac(&mut v);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].kfac_name(), "fc1");
+        assert_eq!(v[1].kfac_name(), "fc2");
+    }
+
+    #[test]
+    fn zero_grad_reaches_children() {
+        let mut rng = Rng64::new(4);
+        let mut m = mlp(&mut rng);
+        let x = tensor_from(1, 4, 1, 1, &[1.0, 2.0, 3.0, 4.0]);
+        let y = m.forward(&x, Mode::Train);
+        let _ = m.backward(&y);
+        let mut nonzero = 0;
+        m.visit_params("", &mut |_, _, g| {
+            nonzero += g.iter().filter(|&&v| v != 0.0).count();
+        });
+        assert!(nonzero > 0);
+        m.zero_grad();
+        m.visit_params("", &mut |_, _, g| {
+            assert!(g.iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng64::new(5);
+        let mut m = mlp(&mut rng);
+        // fc1: 4·6+6 = 30; fc2: 6·3+3 = 21.
+        assert_eq!(m.num_params(), 51);
+    }
+}

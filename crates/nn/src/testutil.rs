@@ -1,0 +1,155 @@
+//! Shared test helpers: finite-difference gradient checking.
+//!
+//! Every layer's `backward` is validated against central finite
+//! differences of its `forward` — the standard correctness oracle for
+//! hand-written autograd. The check perturbs a sample of parameters and
+//! input coordinates, so it stays fast even for convolution layers.
+
+use crate::layer::{Layer, Mode};
+use kfac_tensor::{Rng64, Tensor4};
+
+/// Build a tensor from literal data (test convenience).
+pub fn tensor_from(n: usize, c: usize, h: usize, w: usize, data: &[f32]) -> Tensor4 {
+    Tensor4::from_vec(n, c, h, w, data.to_vec())
+}
+
+/// Random tensor with standard-normal entries.
+pub fn random_tensor(shape: (usize, usize, usize, usize), rng: &mut Rng64) -> Tensor4 {
+    let (n, c, h, w) = shape;
+    let data = (0..n * c * h * w).map(|_| rng.normal_f32()).collect();
+    Tensor4::from_vec(n, c, h, w, data)
+}
+
+/// Scalar test loss: `L = Σᵢ out[i] · proj[i]`, whose gradient w.r.t. the
+/// output is exactly `proj` — lets us drive `backward` with a known
+/// upstream gradient.
+fn projected_loss(out: &Tensor4, proj: &[f32]) -> f64 {
+    out.as_slice()
+        .iter()
+        .zip(proj)
+        .map(|(&o, &p)| o as f64 * p as f64)
+        .sum()
+}
+
+/// Two-step central difference with kink detection.
+///
+/// ReLU and max-pooling make the loss piecewise linear; a finite-difference
+/// step that straddles a kink produces a meaningless in-between slope. We
+/// evaluate at two step sizes and skip coordinates where the two estimates
+/// disagree (the standard non-smoothness guard).
+fn robust_numeric_grad(
+    eval: &mut dyn FnMut(f32) -> f64,
+    eps: f32,
+) -> Option<f32> {
+    let d1 = ((eval(eps) - eval(-eps)) / (2.0 * eps as f64)) as f32;
+    let half = eps / 2.0;
+    let d2 = ((eval(half) - eval(-half)) / (2.0 * half as f64)) as f32;
+    if (d1 - d2).abs() > 0.02 * d1.abs().max(d2.abs()).max(1.0) {
+        None // kink detected: skip this coordinate
+    } else {
+        Some(d2)
+    }
+}
+
+/// Check `layer.backward` against central finite differences.
+///
+/// Verifies (a) every parameter gradient (sampled, up to 48 coordinates
+/// per parameter) and (b) the input gradient (up to 48 coordinates).
+/// `tol` is a relative tolerance on each coordinate with an absolute
+/// floor, appropriate for f32 forward passes. Coordinates sitting on
+/// piecewise-linear kinks (ReLU boundaries, pooling argmax ties) are
+/// detected and skipped.
+pub fn finite_diff_check(
+    mut layer: Box<dyn Layer>,
+    in_shape: (usize, usize, usize, usize),
+    tol: f32,
+    rng: &mut Rng64,
+) {
+    let x = random_tensor(in_shape, rng);
+    let out_shape = layer.output_shape(in_shape);
+    let out_len = out_shape.0 * out_shape.1 * out_shape.2 * out_shape.3;
+    let proj: Vec<f32> = (0..out_len).map(|_| rng.normal_f32()).collect();
+
+    // Analytic gradients.
+    layer.zero_grad();
+    let out = layer.forward(&x, Mode::Train);
+    assert_eq!(out.len(), out_len, "output_shape disagrees with forward");
+    let grad_out = Tensor4::from_vec(
+        out_shape.0,
+        out_shape.1,
+        out_shape.2,
+        out_shape.3,
+        proj.clone(),
+    );
+    let grad_in = layer.backward(&grad_out);
+
+    // Snapshot analytic parameter gradients.
+    let mut param_grads: Vec<(String, Vec<f32>)> = Vec::new();
+    layer.visit_params("", &mut |name, _v, g| {
+        param_grads.push((name.to_string(), g.to_vec()));
+    });
+
+    let eps = 2e-3f32; // small enough to rarely straddle ReLU kinks, central difference
+
+    // (a) Parameter gradients.
+    for (pi, (pname, analytic)) in param_grads.iter().enumerate() {
+        let n_coords = analytic.len();
+        let samples = n_coords.min(48);
+        for s in 0..samples {
+            // Deterministic stratified coordinate sample.
+            let coord = s * n_coords / samples;
+            let mut eval = |delta: f32| -> f64 {
+                let mut idx = 0usize;
+                layer.visit_params("", &mut |_n, v, _g| {
+                    if idx == pi {
+                        v[coord] += delta;
+                    }
+                    idx += 1;
+                });
+                let out = layer.forward(&x, Mode::Train);
+                // Undo the perturbation.
+                let mut idx = 0usize;
+                layer.visit_params("", &mut |_n, v, _g| {
+                    if idx == pi {
+                        v[coord] -= delta;
+                    }
+                    idx += 1;
+                });
+                projected_loss(&out, &proj)
+            };
+            let Some(numeric) = robust_numeric_grad(&mut eval, eps) else {
+                continue; // kink: one-sided derivatives disagree
+            };
+            let a = analytic[coord];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "param {pname}[{coord}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    // (b) Input gradient.
+    let n_coords = grad_in.len();
+    let samples = n_coords.min(48);
+    let mut x_pert = x.clone();
+    for s in 0..samples {
+        let coord = s * n_coords / samples;
+        let orig = x_pert.as_slice()[coord];
+        let mut eval = |delta: f32| -> f64 {
+            x_pert.as_mut_slice()[coord] = orig + delta;
+            let l = projected_loss(&layer.forward(&x_pert, Mode::Train), &proj);
+            x_pert.as_mut_slice()[coord] = orig;
+            l
+        };
+        let Some(numeric) = robust_numeric_grad(&mut eval, eps) else {
+            continue; // kink
+        };
+        let a = grad_in.as_slice()[coord];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        assert!(
+            (a - numeric).abs() / denom < tol,
+            "input[{coord}]: analytic {a} vs numeric {numeric}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the neural-network substrate: shape algebra,
+//! im2col adjointness, loss-gradient validity and capture invariants
+//! across randomized layer configurations.
+
+use kfac_nn::im2col::{col2im, conv_out_dim, im2col};
+use kfac_nn::{layer::Mode, Conv2d, CrossEntropyLoss, KfacEligible, Layer, Linear};
+use kfac_tensor::{Matrix, Rng64, Tensor4};
+use proptest::prelude::*;
+
+fn random_tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor4 {
+    let mut rng = Rng64::new(seed);
+    Tensor4::from_vec(
+        n,
+        c,
+        h,
+        w,
+        (0..n * c * h * w).map(|_| rng.normal_f32()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `output_shape` always agrees with the actual forward output.
+    #[test]
+    fn conv_output_shape_consistent(
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        k in 1usize..4,
+        stride in 1usize..3,
+        hw in 4usize..9,
+        seed in any::<u64>(),
+    ) {
+        let pad = k / 2;
+        let mut rng = Rng64::new(seed);
+        let mut conv = Conv2d::new("c", c_in, c_out, k, stride, pad, false, &mut rng);
+        let x = random_tensor(2, c_in, hw, hw, seed);
+        let expect = conv.output_shape((2, c_in, hw, hw));
+        let y = conv.forward(&x, Mode::Eval);
+        prop_assert_eq!(y.shape(), expect);
+    }
+
+    /// im2col/col2im adjointness for random geometries:
+    /// ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩.
+    #[test]
+    fn im2col_adjoint(
+        c in 1usize..4,
+        k in 1usize..4,
+        stride in 1usize..3,
+        hw in 4usize..9,
+        seed in any::<u64>(),
+    ) {
+        let pad = k / 2;
+        prop_assume!(hw + 2 * pad >= k);
+        let shape = (2usize, c, hw, hw);
+        let x = random_tensor(shape.0, shape.1, shape.2, shape.3, seed);
+        let fx = im2col(&x, k, stride, pad);
+        let mut rng = Rng64::new(seed ^ 0xabc);
+        let y = Matrix::from_vec(
+            fx.rows(),
+            fx.cols(),
+            (0..fx.len()).map(|_| rng.normal_f32()).collect(),
+        );
+        let aty = col2im(&y, shape, k, stride, pad);
+        let lhs: f64 = fx.as_slice().iter().zip(y.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(aty.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    /// Conv out-dims follow the standard formula for all valid configs.
+    #[test]
+    fn out_dim_formula_bounds(
+        input in 1usize..64,
+        k in 1usize..8,
+        stride in 1usize..4,
+        pad in 0usize..4,
+    ) {
+        prop_assume!(input + 2 * pad >= k);
+        let o = conv_out_dim(input, k, stride, pad);
+        prop_assert!(o >= 1);
+        // The last window must fit.
+        prop_assert!((o - 1) * stride + k <= input + 2 * pad);
+        prop_assert!(o * stride + k > input + 2 * pad);
+    }
+
+    /// Cross-entropy gradient always sums to ~0 per sample and points
+    /// uphill w.r.t. the loss (positive inner product with itself).
+    #[test]
+    fn loss_gradient_properties(
+        logits in proptest::collection::vec(-5.0f32..5.0, 12),
+        smoothing in 0.0f32..0.3,
+        t0 in 0usize..4,
+        t1 in 0usize..4,
+        t2 in 0usize..4,
+    ) {
+        let loss = CrossEntropyLoss::with_smoothing(smoothing);
+        let t = Tensor4::from_vec(3, 4, 1, 1, logits);
+        let (l, g) = loss.forward(&t, &[t0, t1, t2]);
+        prop_assert!(l.is_finite() && l >= 0.0);
+        for i in 0..3 {
+            let s: f32 = g.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "per-sample gradient sum {s}");
+        }
+    }
+
+    /// Linear capture: factor shapes always match `factor_dims`, and the
+    /// grad-matrix round-trip is exact.
+    #[test]
+    fn linear_capture_and_roundtrip(
+        in_f in 1usize..8,
+        out_f in 1usize..8,
+        bias in any::<bool>(),
+        batch in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let mut l = Linear::new("fc", in_f, out_f, bias, &mut rng);
+        l.set_capture(true);
+        let x = random_tensor(batch, in_f, 1, 1, seed);
+        let y = l.forward(&x, Mode::Train);
+        let gy = random_tensor(batch, out_f, 1, 1, seed ^ 1);
+        let _ = l.backward(&gy);
+        prop_assert!(l.has_capture());
+        let (a, g) = l.compute_factors();
+        let (da, dg) = l.factor_dims();
+        prop_assert_eq!(a.shape(), (da, da));
+        prop_assert_eq!(g.shape(), (dg, dg));
+        prop_assert_eq!(a.asymmetry(), 0.0);
+
+        let gm = l.grad_matrix();
+        l.set_grad_matrix(&gm);
+        let gm2 = l.grad_matrix();
+        prop_assert_eq!(gm, gm2);
+        let _ = y;
+    }
+}

@@ -1,0 +1,30 @@
+//! # kfac-optim
+//!
+//! First-order optimizers and learning-rate schedules for the `kfac-rs`
+//! reproduction of *Convolutional Neural Network Training with Distributed
+//! K-FAC* (Pauloski et al., SC 2020).
+//!
+//! The paper positions K-FAC as a **gradient preconditioner** that can be
+//! used "in-place with any standard optimizer, such as Adam, LARS, or SGD"
+//! (§IV). This crate supplies those optimizers:
+//!
+//! * [`Sgd`] — momentum SGD (the paper's baseline and the optimizer its
+//!   headline K-FAC results wrap; momentum 0.9, §VI-C1).
+//! * [`Adam`] — Adam with bias correction.
+//! * [`Lars`] — layer-wise adaptive rate scaling (the large-batch SGD
+//!   family of the paper's related work, §III-A).
+//! * [`lr::LrSchedule`] — linear warmup + multi-step decay (every paper
+//!   run warms up 5 epochs and decays at fixed epochs) plus polynomial
+//!   decay, and the `N×` linear scaling rule used at scale.
+
+pub mod adam;
+pub mod lars;
+pub mod lr;
+pub mod optimizer;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use lars::Lars;
+pub use lr::LrSchedule;
+pub use optimizer::Optimizer;
+pub use sgd::Sgd;

@@ -1,0 +1,138 @@
+//! Learning-rate schedules.
+//!
+//! Every experiment in the paper uses the same recipe (§VI-C): a base rate
+//! scaled linearly with the worker count (`N × 0.1` on CIFAR,
+//! `N × 0.0125` on ImageNet), a 5-epoch linear warmup, and step decays by
+//! 10× at fixed epochs (different epoch lists for K-FAC and SGD).
+//! [`LrSchedule`] encodes exactly that, plus a polynomial variant for
+//! ablations.
+
+/// Decay shape after warmup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decay {
+    /// Multiply by `factor` at each listed epoch (the paper's scheme).
+    Steps {
+        /// Epochs at which the rate drops.
+        epochs: Vec<usize>,
+        /// Multiplicative factor per drop (paper: 0.1).
+        factor: f32,
+    },
+    /// `lr · (1 − progress)^power` over `total_epochs`.
+    Polynomial {
+        /// Total epochs the decay spans.
+        total_epochs: usize,
+        /// Exponent (2.0 is common).
+        power: f32,
+    },
+}
+
+/// Warmup + decay schedule queried at fractional epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrSchedule {
+    /// Post-warmup base rate.
+    pub base_lr: f32,
+    /// Linear warmup length in epochs (paper: 5).
+    pub warmup_epochs: f32,
+    /// Decay shape.
+    pub decay: Decay,
+}
+
+impl LrSchedule {
+    /// The paper's step schedule: warmup 5 epochs, 10× decays at `epochs`.
+    pub fn paper_steps(base_lr: f32, epochs: Vec<usize>) -> Self {
+        LrSchedule {
+            base_lr,
+            warmup_epochs: 5.0,
+            decay: Decay::Steps {
+                epochs,
+                factor: 0.1,
+            },
+        }
+    }
+
+    /// Linear scaling rule: base rate × worker count (§VI-C1: `N × 0.1`,
+    /// §VI-C3: `N × 0.0125`).
+    pub fn scale_for_workers(mut self, n_workers: usize) -> Self {
+        self.base_lr *= n_workers as f32;
+        self
+    }
+
+    /// Learning rate at (fractional) `epoch`.
+    pub fn lr_at(&self, epoch: f32) -> f32 {
+        assert!(epoch >= 0.0);
+        if self.warmup_epochs > 0.0 && epoch < self.warmup_epochs {
+            // Linear ramp from base/(warmup steps) rather than 0 — matches
+            // common warmup implementations and avoids a dead first step.
+            let frac = (epoch + 1e-9) / self.warmup_epochs;
+            return self.base_lr * frac.min(1.0);
+        }
+        match &self.decay {
+            Decay::Steps { epochs, factor } => {
+                let drops = epochs.iter().filter(|&&e| epoch >= e as f32).count();
+                self.base_lr * factor.powi(drops as i32)
+            }
+            Decay::Polynomial {
+                total_epochs,
+                power,
+            } => {
+                let p = (epoch / *total_epochs as f32).min(1.0);
+                self.base_lr * (1.0 - p).max(0.0).powf(*power)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::paper_steps(1.0, vec![30]);
+        assert!(s.lr_at(0.0) < 0.01);
+        assert!((s.lr_at(2.5) - 0.5).abs() < 1e-5);
+        assert!((s.lr_at(5.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn steps_decay_by_factor() {
+        let s = LrSchedule::paper_steps(0.8, vec![10, 20, 30]);
+        assert!((s.lr_at(9.9) - 0.8).abs() < 1e-6);
+        assert!((s.lr_at(10.0) - 0.08).abs() < 1e-6);
+        assert!((s.lr_at(25.0) - 0.008).abs() < 1e-6);
+        assert!((s.lr_at(35.0) - 0.0008).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linear_scaling_rule() {
+        let s = LrSchedule::paper_steps(0.0125, vec![30]).scale_for_workers(16);
+        assert!((s.base_lr - 0.2).abs() < 1e-6, "paper: 0.0125 × 16 = 0.2");
+    }
+
+    #[test]
+    fn polynomial_reaches_zero() {
+        let s = LrSchedule {
+            base_lr: 1.0,
+            warmup_epochs: 0.0,
+            decay: Decay::Polynomial {
+                total_epochs: 10,
+                power: 2.0,
+            },
+        };
+        assert!((s.lr_at(0.0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(5.0) - 0.25).abs() < 1e-6);
+        assert_eq!(s.lr_at(10.0), 0.0);
+        assert_eq!(s.lr_at(12.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_through_warmup_boundary() {
+        let s = LrSchedule::paper_steps(1.0, vec![50]);
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let lr = s.lr_at(i as f32 / 10.0);
+            assert!(lr >= prev - 1e-6, "warmup must be nondecreasing");
+            prev = lr;
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Cache-blocked, rayon-parallel matrix multiplication kernels.
+//!
+//! On the paper's platform these products run as cuBLAS GEMMs on V100s; here
+//! they run on CPU cores with rayon standing in for the GPU's intra-kernel
+//! parallelism. The kernels use the `ikj` loop order so the innermost loop
+//! streams contiguous rows of `B` and `C` (auto-vectorizable), and split the
+//! output rows across the rayon pool above a size threshold so small
+//! matrices do not pay fork-join overhead.
+//!
+//! Besides general GEMM, this module provides the two Gram kernels the
+//! K-FAC factor computation is built from:
+//! `gram` (`AᵀA`) for activation factors and `gram_nt` (`A Aᵀ`).
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Below this many output elements, run single-threaded: the fork-join cost
+/// would dominate the multiply itself.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+impl Matrix {
+    /// General matrix product `C = self · other`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let m = self.rows();
+        let k = self.cols();
+        let n = other.cols();
+        let mut c = Matrix::zeros(m, n);
+
+        let kernel = |i: usize, c_row: &mut [f32]| {
+            let a_row = self.row(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                // Innermost loop over contiguous memory: vectorizes.
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                    *c_v += a_ip * b_v;
+                }
+            }
+        };
+
+        if m * n >= PAR_THRESHOLD && m > 1 {
+            c.as_mut_slice()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, c_row)| kernel(i, c_row));
+        } else {
+            for i in 0..m {
+                let row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+                kernel(i, row);
+            }
+        }
+        c
+    }
+
+    /// `C = selfᵀ · other` without materializing the transpose.
+    ///
+    /// `C[j, l] = Σᵢ self[i, j] · other[i, l]`; computed as a sum of
+    /// rank-one row updates so all accesses stay row-contiguous.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn dimension mismatch: {}x{}ᵀ · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let m = self.cols();
+        let n = other.cols();
+        let k = self.rows();
+
+        if m * n >= PAR_THRESHOLD && k >= 8 {
+            // Partition the shared i-dimension across threads, then reduce.
+            let nchunks = rayon::current_num_threads().max(1);
+            let chunk = k.div_ceil(nchunks);
+            let partials: Vec<Matrix> = (0..k)
+                .into_par_iter()
+                .step_by(chunk.max(1))
+                .map(|start| {
+                    let end = (start + chunk).min(k);
+                    let mut acc = Matrix::zeros(m, n);
+                    for i in start..end {
+                        let a_row = self.row(i);
+                        let b_row = other.row(i);
+                        for (j, &a_ij) in a_row.iter().enumerate() {
+                            if a_ij == 0.0 {
+                                continue;
+                            }
+                            let acc_row = acc.row_mut(j);
+                            for (c_v, &b_v) in acc_row.iter_mut().zip(b_row) {
+                                *c_v += a_ij * b_v;
+                            }
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            let mut c = Matrix::zeros(m, n);
+            for p in &partials {
+                c.add_assign(p);
+            }
+            c
+        } else {
+            let mut c = Matrix::zeros(m, n);
+            for i in 0..k {
+                let a_row = self.row(i);
+                let b_row = other.row(i);
+                for (j, &a_ij) in a_row.iter().enumerate() {
+                    if a_ij == 0.0 {
+                        continue;
+                    }
+                    let acc_row = c.row_mut(j);
+                    for (c_v, &b_v) in acc_row.iter_mut().zip(b_row) {
+                        *c_v += a_ij * b_v;
+                    }
+                }
+            }
+            c
+        }
+    }
+
+    /// `C = self · otherᵀ` without materializing the transpose.
+    ///
+    /// `C[i, j] = ⟨self.row(i), other.row(j)⟩` — both operands row-contiguous.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt dimension mismatch: {}x{} · {}x{}ᵀ",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let m = self.rows();
+        let n = other.rows();
+        let mut c = Matrix::zeros(m, n);
+
+        let kernel = |i: usize, c_row: &mut [f32]| {
+            let a_row = self.row(i);
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *c_v = acc;
+            }
+        };
+
+        if m * n >= PAR_THRESHOLD && m > 1 {
+            c.as_mut_slice()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, c_row)| kernel(i, c_row));
+        } else {
+            for i in 0..m {
+                let row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+                kernel(i, row);
+            }
+        }
+        c
+    }
+
+    /// Gram matrix `selfᵀ · self`, the kernel behind the activation factor
+    /// `A = āᵀā / batch` (rows of `self` are per-example activation rows).
+    ///
+    /// Exploits symmetry: only the upper triangle is computed, then mirrored.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols();
+        let k = self.rows();
+        let mut g = if n * n >= PAR_THRESHOLD && k >= 8 {
+            let nchunks = rayon::current_num_threads().max(1);
+            let chunk = k.div_ceil(nchunks).max(1);
+            let partials: Vec<Matrix> = (0..k)
+                .into_par_iter()
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(k);
+                    let mut acc = Matrix::zeros(n, n);
+                    for i in start..end {
+                        let row = self.row(i);
+                        rank1_upper(&mut acc, row);
+                    }
+                    acc
+                })
+                .collect();
+            let mut g = Matrix::zeros(n, n);
+            for p in &partials {
+                g.add_assign(p);
+            }
+            g
+        } else {
+            let mut g = Matrix::zeros(n, n);
+            for i in 0..k {
+                let row = self.row(i);
+                rank1_upper(&mut g, row);
+            }
+            g
+        };
+        mirror_upper(&mut g);
+        g
+    }
+
+    /// Gram matrix `self · selfᵀ` (per-row inner products), used for the
+    /// gradient factor `G = g gᵀ / batch`.
+    pub fn gram_nt(&self) -> Matrix {
+        let mut g = self.matmul_nt(self);
+        g.symmetrize();
+        g
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols(), x.len(), "matvec dimension mismatch");
+        (0..self.rows())
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(x)
+                    .map(|(&a, &b)| a as f64 * b as f64)
+                    .sum::<f64>() as f32
+            })
+            .collect()
+    }
+}
+
+/// Accumulate the upper triangle of the rank-one update `acc += row rowᵀ`.
+#[inline]
+fn rank1_upper(acc: &mut Matrix, row: &[f32]) {
+    let n = row.len();
+    for j in 0..n {
+        let rj = row[j];
+        if rj == 0.0 {
+            continue;
+        }
+        let acc_row = acc.row_mut(j);
+        for l in j..n {
+            acc_row[l] += rj * row[l];
+        }
+    }
+}
+
+/// Copy the upper triangle onto the lower triangle.
+fn mirror_upper(g: &mut Matrix) {
+    let n = g.rows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = g[(i, j)];
+            g[(j, i)] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn random(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
+        let data = (0..rows * cols).map(|_| rng.normal_f32()).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Naive triple-loop reference multiply.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f64;
+                for p in 0..a.cols() {
+                    acc += a[(i, p)] as f64 * b[(p, j)] as f64;
+                }
+                c[(i, j)] = acc as f32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng64::new(1);
+        let a = random(7, 7, &mut rng);
+        let i = Matrix::identity(7);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-6);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn parallel_path_matches_reference() {
+        let mut rng = Rng64::new(2);
+        // Big enough to trip the PAR_THRESHOLD.
+        let a = random(96, 48, &mut rng);
+        let b = random(48, 96, &mut rng);
+        let c = a.matmul(&b);
+        let r = reference_matmul(&a, &b);
+        assert!(c.max_abs_diff(&r) < 1e-3, "diff {}", c.max_abs_diff(&r));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = Rng64::new(3);
+        for (m, k, n) in [(5, 9, 4), (80, 100, 70)] {
+            let a = random(k, m, &mut rng);
+            let b = random(k, n, &mut rng);
+            let fast = a.matmul_tn(&b);
+            let slow = a.transpose().matmul(&b);
+            assert!(fast.max_abs_diff(&slow) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = Rng64::new(4);
+        for (m, k, n) in [(5, 9, 4), (80, 100, 70)] {
+            let a = random(m, k, &mut rng);
+            let b = random(n, k, &mut rng);
+            let fast = a.matmul_nt(&b);
+            let slow = a.matmul(&b.transpose());
+            assert!(fast.max_abs_diff(&slow) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gram_matches_tn_self() {
+        let mut rng = Rng64::new(5);
+        for (rows, cols) in [(6, 3), (128, 40)] {
+            let a = random(rows, cols, &mut rng);
+            let g = a.gram();
+            let r = a.matmul_tn(&a);
+            assert!(g.max_abs_diff(&r) < 2e-3);
+            assert_eq!(g.asymmetry(), 0.0);
+        }
+    }
+
+    #[test]
+    fn gram_nt_matches_nt_self() {
+        let mut rng = Rng64::new(6);
+        let a = random(24, 50, &mut rng);
+        let g = a.gram_nt();
+        let r = a.matmul(&a.transpose());
+        assert!(g.max_abs_diff(&r) < 2e-3);
+        assert_eq!(g.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng64::new(7);
+        let a = random(9, 5, &mut rng);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 - 2.0).collect();
+        let xm = Matrix::from_vec(5, 1, x.clone());
+        let y = a.matvec(&x);
+        let ym = a.matmul(&xm);
+        for i in 0..9 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,355 @@
+//! Row-major dense `f32` matrix.
+//!
+//! This is the central data type of the substrate: Kronecker factors,
+//! weight gradients, eigenvector bases and preconditioned gradients are all
+//! `Matrix` values. The layout is plain row-major `Vec<f32>` so rows are
+//! contiguous, which the GEMM kernels in [`crate::matmul`] exploit.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a diagonal matrix from a slice of diagonal entries.
+    pub fn from_diag(diag: &[f32]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Build a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(r, c, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the backing row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its row-major storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Unchecked get; `debug_assert`s bounds.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Unchecked set; `debug_assert`s bounds.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Return the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        // Block the transpose for cache friendliness on large matrices.
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                for i in ib..(ib + B).min(self.rows) {
+                    for j in jb..(jb + B).min(self.cols) {
+                        t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Extract the main diagonal.
+    pub fn diag(&self) -> Vec<f32> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Sum of the main diagonal.
+    pub fn trace(&self) -> f32 {
+        self.diag().iter().sum()
+    }
+
+    /// Force exact symmetry by averaging with the transpose in place.
+    ///
+    /// Kronecker factors are symmetric by construction but floating-point
+    /// GEMM can leave asymmetry on the order of machine epsilon; the Jacobi
+    /// eigensolver assumes exact symmetry, so factors are symmetrized before
+    /// decomposition (mirroring what dense LAPACK drivers do by reading only
+    /// one triangle).
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let m = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = m;
+                self[(j, i)] = m;
+            }
+        }
+    }
+
+    /// Maximum absolute difference from the transpose (symmetry residual).
+    pub fn asymmetry(&self) -> f32 {
+        assert!(self.is_square());
+        let mut worst = 0.0f32;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for i in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 8.min(self.cols);
+            for j in 0..max_cols {
+                write!(f, "{:>10.4}", self[(i, j)])?;
+                if j + 1 < max_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > max_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m[(2, 1)], 6.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 0)], 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_large_blocked() {
+        // Exercise the blocked path with a non-multiple-of-block size.
+        let n = 70;
+        let mut m = Matrix::zeros(n, n + 13);
+        for i in 0..n {
+            for j in 0..n + 13 {
+                m[(i, j)] = (i * 1000 + j) as f32;
+            }
+        }
+        let t = m.transpose();
+        for i in 0..n {
+            for j in 0..n + 13 {
+                assert_eq!(t[(j, i)], m[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_fixes_asymmetry() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[2.5, 3.0]]);
+        assert!(m.asymmetry() > 0.4);
+        m.symmetrize();
+        assert_eq!(m.asymmetry(), 0.0);
+        assert_eq!(m[(0, 1)], 2.25);
+        assert_eq!(m[(1, 0)], 2.25);
+    }
+
+    #[test]
+    fn diag_and_trace() {
+        let m = Matrix::from_rows(&[&[1.0, 9.0], &[9.0, 2.0]]);
+        assert_eq!(m.diag(), vec![1.0, 2.0]);
+        assert_eq!(m.trace(), 3.0);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.shape(), (3, 3));
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+}

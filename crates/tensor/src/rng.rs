@@ -1,0 +1,245 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Everything in the reproduction — weight init, synthetic data, sampler
+//! shuffles — flows through this one generator so experiments are exactly
+//! repeatable from a seed, and per-rank streams can be split without
+//! correlation (`Rng64::split`). The core is xoshiro256++ seeded through
+//! SplitMix64, the standard recommendation of the xoshiro authors.
+
+/// SplitMix64 step: used for seeding and stream splitting.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ PRNG with Box–Muller normal sampling.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+    /// Cached second output of the last Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng64 {
+    /// Create a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent stream for `(seed-stream) = (self, stream_id)`.
+    ///
+    /// Used to give each rank / each dataset shard its own uncorrelated
+    /// generator while staying reproducible.
+    pub fn split(&self, stream_id: u64) -> Rng64 {
+        // Mix the current state with the stream id through SplitMix64.
+        let mut sm = self
+            .s[0]
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(stream_id.wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add(self.s[3]);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        self.uniform_f64() as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform_f32()
+    }
+
+    /// Uniform integer in `[0, bound)` using rejection-free multiply-shift.
+    #[inline]
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-high: unbiased enough for simulation purposes
+        // (bias < 2⁻⁶⁴ relative).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Standard normal via Box–Muller (caches the paired sample).
+    pub fn normal_f64(&mut self) -> f64 {
+        if let Some(v) = self.spare_normal.take() {
+            return v;
+        }
+        // u1 in (0,1] to keep ln finite.
+        let u1 = 1.0 - self.uniform_f64();
+        let u2 = self.uniform_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Standard normal as `f32`.
+    #[inline]
+    pub fn normal_f32(&mut self) -> f32 {
+        self.normal_f64() as f32
+    }
+
+    /// Normal with explicit mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal_f32()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(8);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let root = Rng64::new(99);
+        let mut s1 = root.split(1);
+        let mut s1b = root.split(1);
+        let mut s2 = root.split(2);
+        for _ in 0..50 {
+            assert_eq!(s1.next_u64(), s1b.next_u64());
+        }
+        let mut s1 = root.split(1);
+        let same = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Rng64::new(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = Rng64::new(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {}", mean);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::new(8);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.03, "var {}", var);
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = Rng64::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng64::new(10);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // Overwhelmingly unlikely to be the identity permutation.
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng64::new(11);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {}", rate);
+    }
+}

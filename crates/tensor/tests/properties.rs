@@ -1,0 +1,149 @@
+//! Property-based tests over the linear-algebra substrate.
+//!
+//! These are the algebraic invariants the K-FAC math rests on: the
+//! Kronecker identities of §II-C, spectral reconstruction, and
+//! factorization round-trips.
+
+use kfac_tensor::{eigh, invert, kron, kron_matvec, Matrix, Rng64};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-3, 3].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a random SPD matrix built as `XᵀX/k + γI`.
+fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    (proptest::collection::vec(-2.0f32..2.0, 2 * n * n), 0.05f32..1.0).prop_map(
+        move |(data, damp)| {
+            let x = Matrix::from_vec(2 * n, n, data);
+            let mut a = x.gram();
+            a.scale(1.0 / (2 * n) as f32);
+            a.add_diag(damp);
+            a
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM is associative with the naive reference (checked via identity
+    /// distribution over random matrices): (A·B)·C == A·(B·C).
+    #[test]
+    fn matmul_associative(
+        a in matrix_strategy(4, 6),
+        b in matrix_strategy(6, 5),
+        c in matrix_strategy(5, 3),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    /// Transposition reverses products: (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_reverses(
+        a in matrix_strategy(5, 7),
+        b in matrix_strategy(7, 4),
+    ) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    /// matmul_tn / matmul_nt agree with explicit transposes.
+    #[test]
+    fn fused_transpose_kernels(
+        a in matrix_strategy(8, 5),
+        b in matrix_strategy(8, 6),
+        c in matrix_strategy(6, 5),
+    ) {
+        let tn = a.matmul_tn(&b);
+        prop_assert!(tn.max_abs_diff(&a.transpose().matmul(&b)) < 1e-3);
+        let nt = a.matmul_nt(&c);
+        prop_assert!(nt.max_abs_diff(&a.matmul(&c.transpose())) < 1e-3);
+    }
+
+    /// Eigendecomposition reconstructs the input: Q Λ Qᵀ == A.
+    #[test]
+    fn eigh_reconstructs(a in spd_strategy(8)) {
+        let e = eigh(&a).unwrap();
+        let recon = e.reconstruct();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-3 * a.max_abs().max(1.0));
+    }
+
+    /// Eigenvector bases are orthonormal: QᵀQ == I.
+    #[test]
+    fn eigh_orthonormal(a in spd_strategy(7)) {
+        let e = eigh(&a).unwrap();
+        let qtq = e.eigenvectors.matmul_tn(&e.eigenvectors);
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(7)) < 1e-4);
+    }
+
+    /// SPD matrices have strictly positive spectra.
+    #[test]
+    fn spd_positive_spectrum(a in spd_strategy(6)) {
+        let e = eigh(&a).unwrap();
+        prop_assert!(e.eigenvalues.iter().all(|&l| l > 0.0));
+    }
+
+    /// Gauss–Jordan inverse satisfies A·A⁻¹ == I.
+    #[test]
+    fn inverse_round_trip(a in spd_strategy(6)) {
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(6)) < 5e-3);
+    }
+
+    /// Cholesky inverse agrees with Gauss–Jordan on SPD inputs.
+    #[test]
+    fn cholesky_matches_gauss_jordan(a in spd_strategy(6)) {
+        let gj = invert(&a).unwrap();
+        let ch = kfac_tensor::cholesky::spd_inverse(&a).unwrap();
+        prop_assert!(gj.max_abs_diff(&ch) < 5e-3);
+    }
+
+    /// The paper's Eq. 8: (A ⊗ B)⁻¹ == A⁻¹ ⊗ B⁻¹.
+    #[test]
+    fn kron_inverse_identity(a in spd_strategy(3), b in spd_strategy(2)) {
+        let lhs = invert(&kron(&a, &b)).unwrap();
+        let rhs = kron(&invert(&a).unwrap(), &invert(&b).unwrap());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 5e-2 * rhs.max_abs().max(1.0));
+    }
+
+    /// The paper's Eq. 10 vec-trick: (A ⊗ B) vec(X) == vec(A X Bᵀ).
+    #[test]
+    fn kron_vec_trick(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(2, 5),
+        x in matrix_strategy(4, 5),
+    ) {
+        let fast = kron_matvec(&a, &b, &x);
+        let dense = kron(&a, &b).matvec(&kfac_tensor::kron::vec_rowmajor(&x));
+        for (f, d) in fast.as_slice().iter().zip(&dense) {
+            prop_assert!((f - d).abs() < 1e-2, "{} vs {}", f, d);
+        }
+    }
+
+    /// Gram kernels are symmetric and PSD (non-negative diagonal, spectrum ≥ 0).
+    #[test]
+    fn gram_is_psd(a in matrix_strategy(10, 6)) {
+        let g = a.gram();
+        prop_assert_eq!(g.asymmetry(), 0.0);
+        let e = eigh(&g).unwrap();
+        prop_assert!(e.eigenvalues.iter().all(|&l| l > -1e-3));
+    }
+
+    /// Shuffle produces a permutation for arbitrary seeds and lengths.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), len in 0usize..200) {
+        let mut rng = Rng64::new(seed);
+        let mut xs: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,64 @@
+//! Scaling study on the calibrated cluster model: where does distributed
+//! K-FAC beat SGD, and where does it stop?
+//!
+//! Walks the paper's 16–256 GPU sweep (Figs. 7–9, Table IV) for all three
+//! ResNet depths, printing per-stage iteration breakdowns so the
+//! mechanics are visible: the eigendecomposition makespan that stops
+//! shrinking, the factor computation that no extra GPU can help with, and
+//! the amortization that makes K-FAC-opt cheap anyway.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example imagenet_scaling
+//! ```
+
+use kfac_suite::cluster::{
+    paper_update_freq, scaling_sweep, ClusterSpec, IterationModel, KfacRunConfig,
+    ModelProfile, TrainingBudget,
+};
+use kfac_suite::nn::arch::{resnet101, resnet152, resnet50};
+
+fn main() {
+    let budget = TrainingBudget::default();
+
+    for arch in [resnet50(), resnet101(), resnet152()] {
+        println!("==== {} ({:.1}M params) ====", arch.name, arch.total_params() as f64 / 1e6);
+        println!(
+            "{:>5} | {:>9} {:>9} {:>9} | {:>8} | per-iteration opt stages (ms)",
+            "GPUs", "SGD", "K-FAC-lw", "K-FAC-opt", "opt gain"
+        );
+
+        let points = scaling_sweep(&arch, budget);
+        for p in &points {
+            let model = IterationModel::new(
+                ModelProfile::from_arch(&arch),
+                ClusterSpec::frontera(p.gpus),
+                budget.local_batch,
+            );
+            let stages =
+                model.kfac_opt_iteration(KfacRunConfig::with_freq(paper_update_freq(p.gpus)));
+            println!(
+                "{:>5} | {:>8.1}m {:>8.1}m {:>8.1}m | {:>7.1}% | fwd+bwd {:.0} comm {:.0} factors {:.1} eig {:.1} precond {:.1}",
+                p.gpus,
+                p.sgd_s / 60.0,
+                p.lw_s / 60.0,
+                p.opt_s / 60.0,
+                p.opt_improvement() * 100.0,
+                (stages.fwd + stages.bwd) * 1e3,
+                stages.grad_comm * 1e3,
+                (stages.factor_comp + stages.factor_comm) * 1e3,
+                (stages.eig_comp + stages.eig_comm) * 1e3,
+                stages.precond * 1e3,
+            );
+        }
+        println!();
+    }
+
+    println!("reading guide:");
+    println!(" * ResNet-50: K-FAC-opt wins everywhere (paper: 17.7–25.2%).");
+    println!(" * ResNet-101: smaller but consistent wins (paper: 9.7–19.5%).");
+    println!(" * ResNet-152: the win shrinks with scale and flips at 256 GPUs");
+    println!("   (paper: −11.1%) — the factor-computation and preconditioning");
+    println!("   overheads grow super-linearly with depth while the 55-vs-90");
+    println!("   epoch advantage is fixed.");
+}
