@@ -26,7 +26,9 @@ fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     let mut rng = Rng64::new(1);
     for n in [64usize, 128, 256] {
         let a = random_matrix(n, n, &mut rng);
@@ -47,7 +49,9 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_eig_and_inverse(c: &mut Criterion) {
     let mut group = c.benchmark_group("second_order");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     let mut rng = Rng64::new(2);
     for n in [32usize, 64, 128] {
         let a = random_spd(n, &mut rng);
@@ -63,7 +67,9 @@ fn bench_eig_and_inverse(c: &mut Criterion) {
 
 fn bench_im2col(c: &mut Criterion) {
     let mut group = c.benchmark_group("im2col");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     let mut rng = Rng64::new(3);
     let x = Tensor4::from_vec(
         16,
@@ -80,7 +86,9 @@ fn bench_im2col(c: &mut Criterion) {
 
 fn bench_allreduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("allreduce");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for ranks in [2usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("thread_comm_64k_floats", ranks),

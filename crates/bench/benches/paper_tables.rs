@@ -44,7 +44,9 @@ fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
 /// Table I: the two inversion paths on a ResNet-like factor pair.
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     let mut rng = Rng64::new(1);
     let a = random_spd(72, &mut rng); // 8-ch 3×3 conv activation factor
     let g = random_spd(32, &mut rng);
@@ -103,7 +105,9 @@ fn smoke_iteration_state() -> (IterState, kfac_data::SyntheticImages) {
 /// Table II / Fig. 4: one full K-FAC training iteration.
 fn bench_table2_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_fig4");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     let (mut st, ds) = smoke_iteration_state();
     let comm = LocalComm::new();
     let criterion_loss = CrossEntropyLoss::new();
@@ -128,7 +132,9 @@ fn bench_table2_fig4(c: &mut Criterion) {
 /// Fig. 5: forward+backward of the bottleneck ResNet.
 fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     let setup = ImagenetSetup::new(Scale::Smoke);
     let mut model = setup.model(50, 3);
     let criterion_loss = CrossEntropyLoss::with_smoothing(0.1);
@@ -150,7 +156,9 @@ fn bench_fig5(c: &mut Criterion) {
 /// the amortization the table quantifies.
 fn bench_table3_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_fig6");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     let criterion_loss = CrossEntropyLoss::new();
     let indices: Vec<usize> = (0..16).collect();
 
@@ -192,7 +200,9 @@ fn bench_table3_fig6(c: &mut Criterion) {
 /// Figs. 7–9 / Table IV: the full scaling projection per model.
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_8_9_table4");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for (name, arch) in [
         ("fig7_resnet50", resnet50()),
         ("fig8_resnet101", resnet101()),
@@ -208,7 +218,9 @@ fn bench_scaling(c: &mut Criterion) {
 /// Table V: stage-time evaluation across the 3×3 grid.
 fn bench_table5(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     group.bench_function("stage_profile_grid", |b| {
         b.iter(|| {
             let mut acc = 0.0f64;
@@ -230,7 +242,9 @@ fn bench_table5(c: &mut Criterion) {
 /// Table VI: placement policies over the real ResNet-152 inventory.
 fn bench_table6(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     let arch = resnet152();
     let dims: Vec<(usize, usize)> = arch.layers.iter().map(|l| l.factor_dims()).collect();
     let factors = distribution::factor_descs(&dims);
@@ -239,9 +253,7 @@ fn bench_table6(c: &mut Criterion) {
         ("size_balanced_lpt", PlacementPolicy::SizeBalanced),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                std::hint::black_box(distribution::assign_factors(policy, &factors, 64))
-            });
+            b.iter(|| std::hint::black_box(distribution::assign_factors(policy, &factors, 64)));
         });
     }
     group.finish();
@@ -250,7 +262,9 @@ fn bench_table6(c: &mut Criterion) {
 /// Fig. 10: real factor computation across depths.
 fn bench_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     let setup = ImagenetSetup::new(Scale::Smoke);
     let criterion_loss = CrossEntropyLoss::new();
     for depth in [50usize, 101, 152] {

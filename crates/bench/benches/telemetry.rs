@@ -1,0 +1,56 @@
+//! Telemetry overhead microbenchmarks.
+//!
+//! The span API instruments hot paths (every collective, every K-FAC
+//! stage), so its costs matter: a disabled span must be near-free, an
+//! enabled one must stay far below the ~µs stages it measures. Run
+//! `cargo bench -p kfac-bench --bench telemetry`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kfac_telemetry::{Registry, Span};
+
+fn bench_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span");
+    group.sample_size(20);
+
+    // No recorder installed: enter/drop must be a no-op.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("disabled_enter_drop", |bench| {
+        bench.iter(|| {
+            let _span = std::hint::black_box(Span::enter("bench/disabled"));
+        });
+    });
+
+    // Installed recorder with attributes, the instrumented-path cost.
+    let registry = Registry::new();
+    let _guard = registry.install(0);
+    group.bench_function("enabled_enter_drop", |bench| {
+        bench.iter(|| {
+            let _span = std::hint::black_box(
+                Span::enter("bench/enabled")
+                    .with("iter", 1u64)
+                    .with("bytes", 4096u64),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let histogram = registry.histogram("bench.histogram");
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_add", |bench| {
+        bench.iter(|| counter.add(std::hint::black_box(7)));
+    });
+    group.bench_function("histogram_record", |bench| {
+        bench.iter(|| histogram.record(std::hint::black_box(1.25e-3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_span, bench_metrics);
+criterion_main!(benches);

@@ -176,8 +176,7 @@ impl IterationModel {
             .into_iter()
             .zip(counts)
             .map(|(load, n)| {
-                9.0 * load as f64 / self.cluster.gpu.eig_flops
-                    + n as f64 * PER_FACTOR_OVERHEAD_S
+                9.0 * load as f64 / self.cluster.gpu.eig_flops + n as f64 * PER_FACTOR_OVERHEAD_S
             })
             .collect()
     }
@@ -190,8 +189,7 @@ impl IterationModel {
         }
         let gpu = &self.cluster.gpu;
         let (_, anchor_layers) = resnet50_reference();
-        gpu.precond_anchor_s
-            * (layers as f64 / anchor_layers as f64).powf(gpu.precond_exponent)
+        gpu.precond_anchor_s * (layers as f64 / anchor_layers as f64).powf(gpu.precond_exponent)
     }
 
     /// SGD iteration (Fig. 1 with no preconditioning).
@@ -250,8 +248,7 @@ impl IterationModel {
         // gradient payload crosses the wire, plus a per-layer collective
         // launch/pipeline latency (L separate unfused ops).
         let per_op_latency = 150.0e-6 + world as f64 * 2.5e-6;
-        let precond_comm = self.profile.grad_bytes() as f64
-            * self.cluster.link.beta_s_per_byte
+        let precond_comm = self.profile.grad_bytes() as f64 * self.cluster.link.beta_s_per_byte
             + n_layers as f64 * per_op_latency;
 
         let fi = cfg.factor_interval() as f64;
@@ -347,8 +344,8 @@ mod tests {
         let t64 = model_at(64).eig_worker_times_s(PlacementPolicy::RoundRobin);
         let fastest_speedup = t16.iter().cloned().fold(f64::MAX, f64::min)
             / t64.iter().cloned().fold(f64::MAX, f64::min);
-        let slowest_speedup = t16.iter().cloned().fold(0.0, f64::max)
-            / t64.iter().cloned().fold(0.0, f64::max);
+        let slowest_speedup =
+            t16.iter().cloned().fold(0.0, f64::max) / t64.iter().cloned().fold(0.0, f64::max);
         assert!(
             fastest_speedup > slowest_speedup,
             "fast workers speed up more ({fastest_speedup:.2}x vs {slowest_speedup:.2}x)"
@@ -405,8 +402,7 @@ mod tests {
         );
         let (c50, _) = p50.factor_stage_s();
         let (c152, _) = p152.factor_stage_s();
-        let flop_ratio =
-            p152.profile.factor_flops as f64 / p50.profile.factor_flops as f64;
+        let flop_ratio = p152.profile.factor_flops as f64 / p50.profile.factor_flops as f64;
         assert!(
             c152 / c50 > flop_ratio,
             "time ratio {:.2} must exceed FLOP ratio {:.2} (super-linear)",

@@ -28,12 +28,13 @@ pub mod hardware;
 pub mod iteration;
 pub mod profile;
 pub mod scaling;
+pub mod trace;
 
 pub use hardware::{calibrate_host, ClusterSpec, GpuSpec};
 pub use iteration::{IterationModel, KfacRunConfig, StageTimes};
 pub use profile::ModelProfile;
 pub use scaling::{
-    crossover_scale,
-    efficiency, paper_update_freq, scaling_sweep, time_to_solution, ScalingPoint,
+    crossover_scale, efficiency, paper_update_freq, scaling_sweep, time_to_solution, ScalingPoint,
     TrainingBudget,
 };
+pub use trace::emit_kfac_opt_trace;

@@ -24,8 +24,7 @@ pub struct ModelProfile {
 impl ModelProfile {
     /// Build from an architecture description.
     pub fn from_arch(arch: &ModelArch) -> Self {
-        let layer_dims: Vec<(usize, usize)> =
-            arch.layers.iter().map(|l| l.factor_dims()).collect();
+        let layer_dims: Vec<(usize, usize)> = arch.layers.iter().map(|l| l.factor_dims()).collect();
         ModelProfile {
             name: arch.name.clone(),
             params: arch.total_params(),
@@ -43,7 +42,10 @@ impl ModelProfile {
 
     /// Bytes of one fused factor allreduce: every factor matrix, FP32.
     pub fn factor_bytes(&self) -> u64 {
-        self.factors.iter().map(|f| 4 * (f.dim * f.dim) as u64).sum()
+        self.factors
+            .iter()
+            .map(|f| 4 * (f.dim * f.dim) as u64)
+            .sum()
     }
 
     /// Bytes of one eigendecomposition allgather (eigenvalues +

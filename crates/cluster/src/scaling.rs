@@ -68,11 +68,7 @@ impl ScalingPoint {
 }
 
 /// Project time-to-solution for one model at one scale.
-pub fn time_to_solution(
-    arch: &ModelArch,
-    gpus: usize,
-    budget: TrainingBudget,
-) -> ScalingPoint {
+pub fn time_to_solution(arch: &ModelArch, gpus: usize, budget: TrainingBudget) -> ScalingPoint {
     let profile = ModelProfile::from_arch(arch);
     let model = IterationModel::new(profile, ClusterSpec::frontera(gpus), budget.local_batch);
     let iters_per_epoch = budget.dataset / (gpus * budget.local_batch);
@@ -105,11 +101,7 @@ pub fn scaling_sweep(arch: &ModelArch, budget: TrainingBudget) -> Vec<ScalingPoi
 /// This answers the practical question the paper's Fig. 9 raises: *how
 /// far* can each model scale before the second-order overheads eat the
 /// 55-vs-90-epoch advantage?
-pub fn crossover_scale(
-    arch: &ModelArch,
-    budget: TrainingBudget,
-    max_gpus: usize,
-) -> Option<usize> {
+pub fn crossover_scale(arch: &ModelArch, budget: TrainingBudget, max_gpus: usize) -> Option<usize> {
     let mut gpus = 16usize;
     while gpus <= max_gpus {
         let p = time_to_solution(arch, gpus, budget);

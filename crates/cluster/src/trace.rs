@@ -1,0 +1,290 @@
+//! Synthetic span emission — the simulator's timeline through the same
+//! telemetry API the runnable trainer uses.
+//!
+//! The analytic model prices stages ([`IterationModel`]); this module
+//! *schedules* them: per-rank cursors advance through forward, backward,
+//! and the K-FAC stages on their real update intervals, collectives
+//! rendezvous at the slowest participant, and every stage lands in the
+//! shared [`Registry`] as a [`SpanEvent`]. `xp --trace-out` then renders
+//! simulated 64-GPU timelines and measured CPU runs into one Chrome
+//! trace with identical tooling — Table VI's eigendecomposition
+//! imbalance is directly visible as ragged `sim/eig_comp` bars.
+
+use crate::iteration::{IterationModel, KfacRunConfig};
+use kfac_telemetry::{AttrValue, Registry, SpanEvent};
+
+/// Per-rank emission state: a time cursor plus a sequence counter.
+struct RankCursor {
+    /// Current time, microseconds since the synthetic origin.
+    now_us: u64,
+    /// Next sequence number (orders ties in the exporter).
+    seq: u64,
+    /// Events buffered for this rank.
+    events: Vec<SpanEvent>,
+}
+
+impl RankCursor {
+    fn new(rank_origin_us: u64) -> Self {
+        RankCursor {
+            now_us: rank_origin_us,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Append a span starting at the cursor and advance it.
+    fn emit(
+        &mut self,
+        name: &'static str,
+        rank: usize,
+        depth: u32,
+        dur_us: u64,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        self.events.push(SpanEvent {
+            name,
+            rank,
+            depth,
+            seq: self.seq,
+            start_us: self.now_us,
+            dur_us,
+            attrs,
+        });
+        self.seq += 1;
+        self.now_us += dur_us;
+    }
+}
+
+fn us(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e6).round() as u64
+}
+
+/// Emit a synthetic K-FAC-opt timeline for `iterations` iterations into
+/// `registry`, one thread lane per simulated rank. Returns the simulated
+/// wall time in seconds (the slowest rank's finish).
+///
+/// The schedule follows Algorithm 1 on its real intervals: factor
+/// updates every [`KfacRunConfig::factor_interval`] iterations,
+/// eigendecompositions every `update_freq` iterations (both fire on
+/// iteration 0, like the runnable preconditioner). Collectives are
+/// rendezvous points — every rank's collective span starts at the
+/// slowest rank's arrival — so eigendecomposition imbalance from the
+/// real placement code shows up as idle gaps before `sim/eig_comm`.
+pub fn emit_kfac_opt_trace(
+    registry: &Registry,
+    model: &IterationModel,
+    cfg: KfacRunConfig,
+    iterations: usize,
+) -> f64 {
+    let world = model.cluster.gpus;
+    let times = model.kfac_opt_iteration(cfg);
+    let (factor_comp_s, factor_comm_s) = model.factor_stage_s();
+    let (_, eig_comm_s) = model.eig_stage_s(cfg.placement);
+    let eig_workers = model.eig_worker_times_s(cfg.placement);
+
+    let mut ranks: Vec<RankCursor> = (0..world).map(|_| RankCursor::new(0)).collect();
+
+    // Rendezvous: align every cursor at the slowest rank, then run the
+    // collective for `dur_us` on all of them.
+    let sync_emit = |ranks: &mut Vec<RankCursor>,
+                     name: &'static str,
+                     dur_us: u64,
+                     bytes: u64,
+                     class: &'static str| {
+        let barrier = ranks.iter().map(|r| r.now_us).max().unwrap_or(0);
+        for (rank, rc) in ranks.iter_mut().enumerate() {
+            rc.now_us = barrier;
+            rc.emit(
+                name,
+                rank,
+                1,
+                dur_us,
+                vec![("bytes", bytes.into()), ("class", class.into())],
+            );
+        }
+    };
+
+    for iter in 0..iterations {
+        let iter_starts: Vec<u64> = ranks.iter().map(|r| r.now_us).collect();
+        let factor_iter = iter % cfg.factor_interval() == 0;
+        let eig_iter = iter % cfg.update_freq == 0;
+
+        for (rank, rc) in ranks.iter_mut().enumerate() {
+            rc.emit("sim/forward", rank, 1, us(times.fwd), Vec::new());
+            rc.emit("sim/backward", rank, 1, us(times.bwd), Vec::new());
+        }
+        sync_emit(
+            &mut ranks,
+            "sim/grad_allreduce",
+            us(times.grad_comm),
+            model.profile.grad_bytes(),
+            "gradient",
+        );
+        if factor_iter {
+            for (rank, rc) in ranks.iter_mut().enumerate() {
+                rc.emit("sim/factor_comp", rank, 1, us(factor_comp_s), Vec::new());
+            }
+            sync_emit(
+                &mut ranks,
+                "sim/factor_comm",
+                us(factor_comm_s),
+                model.profile.factor_bytes(),
+                "factor",
+            );
+        }
+        if eig_iter {
+            // Per-rank imbalance from the real placement: ragged bars.
+            for (rank, rc) in ranks.iter_mut().enumerate() {
+                rc.emit(
+                    "sim/eig_comp",
+                    rank,
+                    1,
+                    us(eig_workers[rank]),
+                    vec![("factors", 0u64.into())],
+                );
+            }
+            sync_emit(
+                &mut ranks,
+                "sim/eig_comm",
+                us(eig_comm_s),
+                model.profile.eig_bytes(),
+                "eigen",
+            );
+        }
+        for (rank, rc) in ranks.iter_mut().enumerate() {
+            rc.emit("sim/precond", rank, 1, us(times.precond), Vec::new());
+            rc.emit("sim/opt_step", rank, 1, us(times.framework), Vec::new());
+        }
+
+        // Enclosing iteration span per rank, emitted after its children
+        // so the duration is known; seq 0..children keeps exporter order
+        // stable (ties broken by seq, and the parent starts earliest).
+        for (rank, rc) in ranks.iter_mut().enumerate() {
+            let start = iter_starts[rank];
+            let seq = rc.seq;
+            rc.events.push(SpanEvent {
+                name: "sim/iteration",
+                rank,
+                depth: 0,
+                seq,
+                start_us: start,
+                dur_us: rc.now_us.saturating_sub(start),
+                attrs: vec![
+                    ("iter", (iter as u64).into()),
+                    ("factor_update", u64::from(factor_iter).into()),
+                    ("eig_update", u64::from(eig_iter).into()),
+                ],
+            });
+            rc.seq += 1;
+        }
+    }
+
+    let wall_us = ranks.iter().map(|r| r.now_us).max().unwrap_or(0);
+    for rc in ranks {
+        for ev in rc.events {
+            registry.record_raw(ev);
+        }
+    }
+    wall_us as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ClusterSpec;
+    use crate::profile::ModelProfile;
+    use kfac_nn::arch::resnet50;
+
+    fn model_at(gpus: usize) -> IterationModel {
+        IterationModel::new(
+            ModelProfile::from_arch(&resnet50()),
+            ClusterSpec::frontera(gpus),
+            32,
+        )
+    }
+
+    #[test]
+    fn trace_covers_every_rank_and_iteration() {
+        let registry = Registry::new();
+        let model = model_at(8);
+        let wall = emit_kfac_opt_trace(&registry, &model, KfacRunConfig::with_freq(4), 6);
+        assert!(wall > 0.0);
+
+        let events = registry.events();
+        let iters: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "sim/iteration")
+            .collect();
+        assert_eq!(iters.len(), 8 * 6, "one iteration span per rank");
+        for rank in 0..8 {
+            let n = events.iter().filter(|e| e.rank == rank).count();
+            assert!(n > 6, "rank {rank} has a full timeline, got {n} events");
+        }
+        // Eig fires on iterations 0 and 4 only.
+        let eigs = events.iter().filter(|e| e.name == "sim/eig_comp").count();
+        assert_eq!(eigs, 8 * 2);
+    }
+
+    #[test]
+    fn collectives_rendezvous_at_slowest_rank() {
+        let registry = Registry::new();
+        let model = model_at(8);
+        emit_kfac_opt_trace(&registry, &model, KfacRunConfig::with_freq(1), 1);
+        let events = registry.events();
+        // All ranks' eig_comm spans start at the same microsecond, at or
+        // after every rank's eig_comp end (the barrier).
+        let comm_starts: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "sim/eig_comm")
+            .map(|e| e.start_us)
+            .collect();
+        assert_eq!(comm_starts.len(), 8);
+        assert!(comm_starts.iter().all(|&s| s == comm_starts[0]));
+        let max_comp_end = events
+            .iter()
+            .filter(|e| e.name == "sim/eig_comp")
+            .map(|e| e.end_us())
+            .max()
+            .unwrap();
+        assert_eq!(comm_starts[0], max_comp_end);
+    }
+
+    #[test]
+    fn eig_imbalance_is_visible_in_span_durations() {
+        let registry = Registry::new();
+        let model = model_at(16);
+        emit_kfac_opt_trace(&registry, &model, KfacRunConfig::with_freq(1), 1);
+        let durs: Vec<u64> = registry
+            .events()
+            .iter()
+            .filter(|e| e.name == "sim/eig_comp")
+            .map(|e| e.dur_us)
+            .collect();
+        let (min, max) = (durs.iter().min().unwrap(), durs.iter().max().unwrap());
+        assert!(max > min, "Table VI imbalance must show up in the trace");
+    }
+
+    #[test]
+    fn children_are_contained_in_iteration_spans() {
+        let registry = Registry::new();
+        let model = model_at(4);
+        emit_kfac_opt_trace(&registry, &model, KfacRunConfig::with_freq(2), 3);
+        let events = registry.events();
+        for rank in 0..4 {
+            let parents: Vec<_> = events
+                .iter()
+                .filter(|e| e.rank == rank && e.depth == 0)
+                .collect();
+            for child in events.iter().filter(|e| e.rank == rank && e.depth == 1) {
+                assert!(
+                    parents
+                        .iter()
+                        .any(|p| p.start_us <= child.start_us && child.end_us() <= p.end_us()),
+                    "child {} at {} not contained in any iteration",
+                    child.name,
+                    child.start_us
+                );
+            }
+        }
+    }
+}

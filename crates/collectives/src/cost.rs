@@ -58,8 +58,7 @@ impl LinkSpec {
             return 0.0;
         }
         let p_f = p as f64;
-        (p_f - 1.0) * self.alpha_s
-            + total_bytes as f64 * self.beta_s_per_byte * (p_f - 1.0) / p_f
+        (p_f - 1.0) * self.alpha_s + total_bytes as f64 * self.beta_s_per_byte * (p_f - 1.0) / p_f
     }
 
     /// Binomial-tree broadcast of `bytes` to `p` ranks.

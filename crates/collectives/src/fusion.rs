@@ -129,8 +129,7 @@ mod tests {
     fn fused_reduce_matches_individual() {
         let comms = ThreadComm::create(3);
         let f = |rank: usize, comm: &ThreadComm| {
-            let mut fb =
-                FusionBuffer::new(usize::MAX, ReduceOp::Average, TrafficClass::Factor);
+            let mut fb = FusionBuffer::new(usize::MAX, ReduceOp::Average, TrafficClass::Factor);
             fb.push(0, vec![rank as f32; 4], comm);
             fb.push(1, vec![(rank * 10) as f32; 2], comm);
             fb.flush(comm);

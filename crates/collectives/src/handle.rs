@@ -83,7 +83,8 @@ impl OpQueue {
     ) -> OpHandle {
         let h = OpHandle(self.next);
         self.next += 1;
-        self.queued.push((h, QueuedOp::AllReduce { data, op, class }));
+        self.queued
+            .push((h, QueuedOp::AllReduce { data, op, class }));
         h
     }
 
@@ -166,8 +167,7 @@ mod tests {
         let comms = ThreadComm::create(2);
         let f = |rank: usize, comm: &ThreadComm| {
             let mut q = OpQueue::new();
-            let h1 =
-                q.enqueue_allreduce(vec![rank as f32], ReduceOp::Sum, TrafficClass::Gradient);
+            let h1 = q.enqueue_allreduce(vec![rank as f32], ReduceOp::Sum, TrafficClass::Gradient);
             let h2 = q.enqueue_allgather(vec![rank as f32 * 2.0], TrafficClass::Eigen);
             q.synchronize(comm);
             (q.take(h1).into_reduced(), q.take(h2).into_gathered())

@@ -6,6 +6,7 @@
 
 use crate::communicator::{finalize, Communicator, ReduceOp};
 use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
+use kfac_telemetry::Span;
 use std::sync::Arc;
 
 /// A communicator group of size one.
@@ -38,18 +39,28 @@ impl Communicator for LocalComm {
     }
 
     fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
+        let _span = Span::enter("comm/allreduce")
+            .with("class", class.name())
+            .with("bytes", (buf.len() * 4) as u64);
         self.traffic.record(class, (buf.len() * 4) as u64);
         // Average over one rank is the identity; Sum/Max likewise.
         finalize(buf, op, 1);
     }
 
     fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        let _span = Span::enter("comm/allgather")
+            .with("class", class.name())
+            .with("bytes", (payload.len() * 4) as u64);
         self.traffic.record(class, (payload.len() * 4) as u64);
         vec![payload.to_vec()]
     }
 
     fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
         assert_eq!(root, 0, "broadcast root out of range for size-1 group");
+        let _span = Span::enter("comm/broadcast")
+            .with("class", class.name())
+            .with("bytes", (buf.len() * 4) as u64)
+            .with("root", root);
         self.traffic.record(class, (buf.len() * 4) as u64);
     }
 

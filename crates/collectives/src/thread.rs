@@ -23,6 +23,7 @@
 
 use crate::communicator::{combine_into, finalize, Communicator, ReduceOp};
 use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
+use kfac_telemetry::Span;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -187,6 +188,9 @@ impl Communicator for ThreadComm {
 
     fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
         let size = self.shared.size;
+        let _span = Span::enter("comm/allreduce")
+            .with("class", class.name())
+            .with("bytes", (buf.len() * 4) as u64);
         self.record(class, (buf.len() * 4) as u64);
         if size == 1 {
             return;
@@ -205,7 +209,11 @@ impl Communicator for ThreadComm {
                 } else {
                     slot.op = Some(op);
                 }
-                if !slot.payloads.iter().all(|p| p.is_empty() || p.len() == buf.len()) {
+                if !slot
+                    .payloads
+                    .iter()
+                    .all(|p| p.is_empty() || p.len() == buf.len())
+                {
                     panic!("allreduce length mismatch across ranks");
                 }
                 slot.payloads[rank] = buf.to_vec();
@@ -226,6 +234,9 @@ impl Communicator for ThreadComm {
     }
 
     fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        let _span = Span::enter("comm/allgather")
+            .with("class", class.name())
+            .with("bytes", (payload.len() * 4) as u64);
         self.record(class, (payload.len() * 4) as u64);
         if self.shared.size == 1 {
             return vec![payload.to_vec()];
@@ -243,6 +254,10 @@ impl Communicator for ThreadComm {
 
     fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
         assert!(root < self.shared.size, "broadcast root out of range");
+        let _span = Span::enter("comm/broadcast")
+            .with("class", class.name())
+            .with("bytes", (buf.len() * 4) as u64)
+            .with("root", root);
         self.record(class, (buf.len() * 4) as u64);
         if self.shared.size == 1 {
             return;
@@ -268,6 +283,7 @@ impl Communicator for ThreadComm {
         if self.shared.size == 1 {
             return;
         }
+        let _span = Span::enter("comm/barrier");
         self.rendezvous(OpKind::Barrier, |_| {}, |_| {}, |_| ());
     }
 
@@ -283,10 +299,7 @@ mod tests {
 
     /// Run `f(rank, comm)` on every rank of a fresh group and collect the
     /// per-rank results.
-    fn run_group<R: Send>(
-        size: usize,
-        f: impl Fn(usize, &ThreadComm) -> R + Sync,
-    ) -> Vec<R> {
+    fn run_group<R: Send>(size: usize, f: impl Fn(usize, &ThreadComm) -> R + Sync) -> Vec<R> {
         let comms = ThreadComm::create(size);
         let f = &f;
         thread::scope(|s| {

@@ -7,7 +7,7 @@
 //! [`Communicator`](crate::Communicator) record bytes and op counts per
 //! class so experiments can verify the claimed reductions.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use kfac_telemetry::Counter;
 use std::sync::Arc;
 
 /// What a collective operation was transporting.
@@ -23,6 +23,20 @@ pub enum TrafficClass {
     Precond,
     /// Anything else (barriers, model broadcast at start, diagnostics).
     Other,
+}
+
+impl TrafficClass {
+    /// Stable lowercase label, used as the `class` attribute on the
+    /// telemetry spans collectives record.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Gradient => "gradient",
+            TrafficClass::Factor => "factor",
+            TrafficClass::Eigen => "eigen",
+            TrafficClass::Precond => "precond",
+            TrafficClass::Other => "other",
+        }
+    }
 }
 
 /// Snapshot of cumulative traffic on one rank.
@@ -53,15 +67,18 @@ impl Traffic {
     }
 }
 
-/// Thread-safe accumulator shared by the ranks of a communicator group.
+/// Thread-safe accumulator shared by the ranks of a communicator group,
+/// built from telemetry [`Counter`]s — the same metric primitive the
+/// rest of the stack uses, so traffic totals and trace spans come from
+/// one subsystem.
 #[derive(Debug, Default)]
 pub struct TrafficCounter {
-    gradient: AtomicU64,
-    factor: AtomicU64,
-    eigen: AtomicU64,
-    precond: AtomicU64,
-    other: AtomicU64,
-    ops: AtomicU64,
+    gradient: Counter,
+    factor: Counter,
+    eigen: Counter,
+    precond: Counter,
+    other: Counter,
+    ops: Counter,
 }
 
 impl TrafficCounter {
@@ -72,27 +89,31 @@ impl TrafficCounter {
 
     /// Record one collective moving `bytes` of class `class`.
     pub fn record(&self, class: TrafficClass, bytes: u64) {
-        let slot = match class {
+        self.class_counter(class).add(bytes);
+        self.ops.inc();
+    }
+
+    /// The underlying byte counter for one class.
+    pub fn class_counter(&self, class: TrafficClass) -> &Counter {
+        match class {
             TrafficClass::Gradient => &self.gradient,
             TrafficClass::Factor => &self.factor,
             TrafficClass::Eigen => &self.eigen,
             TrafficClass::Precond => &self.precond,
             TrafficClass::Other => &self.other,
-        };
-        slot.fetch_add(bytes, Ordering::Relaxed);
-        self.ops.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Read a consistent-enough snapshot (relaxed loads; exact once the
     /// group is quiescent, which is when experiments read it).
     pub fn snapshot(&self) -> Traffic {
         Traffic {
-            gradient_bytes: self.gradient.load(Ordering::Relaxed),
-            factor_bytes: self.factor.load(Ordering::Relaxed),
-            eigen_bytes: self.eigen.load(Ordering::Relaxed),
-            precond_bytes: self.precond.load(Ordering::Relaxed),
-            other_bytes: self.other.load(Ordering::Relaxed),
-            ops: self.ops.load(Ordering::Relaxed),
+            gradient_bytes: self.gradient.get(),
+            factor_bytes: self.factor.get(),
+            eigen_bytes: self.eigen.get(),
+            precond_bytes: self.precond.get(),
+            other_bytes: self.other.get(),
+            ops: self.ops.get(),
         }
     }
 }

@@ -138,14 +138,19 @@ fn allreduce_is_rank_order_deterministic() {
                         std::thread::sleep(std::time::Duration::from_micros(
                             ((rank * 7919) % 41) as u64,
                         ));
-                        let mut buf: Vec<f32> =
-                            (0..64).map(|i| 0.1 + rank as f32 * 1e-7 + i as f32 * 1e-3).collect();
+                        let mut buf: Vec<f32> = (0..64)
+                            .map(|i| 0.1 + rank as f32 * 1e-7 + i as f32 * 1e-3)
+                            .collect();
                         comm.allreduce(&mut buf, ReduceOp::Average);
                         buf
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).next().unwrap()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .next()
+                .unwrap()
         })
     };
     let a = run();

@@ -86,7 +86,9 @@ pub fn assign_factors(
             let mut assignment = vec![0usize; factors.len()];
             for &i in &order {
                 // Least-loaded rank, lowest rank wins ties (determinism).
-                let rank = (0..world_size).min_by_key(|&r| (load[r], r)).expect("world>0");
+                let rank = (0..world_size)
+                    .min_by_key(|&r| (load[r], r))
+                    .expect("world>0");
                 assignment[factors[i].id] = rank;
                 load[rank] += factors[i].eig_cost();
             }
@@ -104,11 +106,7 @@ pub fn assign_layers_lw(num_layers: usize, world_size: usize) -> Vec<usize> {
 
 /// Per-rank eigendecomposition cost under an assignment — the quantity
 /// whose min/max ratio Table VI reports.
-pub fn per_rank_cost(
-    factors: &[FactorDesc],
-    assignment: &[usize],
-    world_size: usize,
-) -> Vec<u64> {
+pub fn per_rank_cost(factors: &[FactorDesc], assignment: &[usize], world_size: usize) -> Vec<u64> {
     let mut load = vec![0u64; world_size];
     for f in factors {
         load[assignment[f.id]] += f.eig_cost();
@@ -219,10 +217,7 @@ mod tests {
     fn deterministic_assignments() {
         let f = sample_factors();
         for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::SizeBalanced] {
-            assert_eq!(
-                assign_factors(policy, &f, 5),
-                assign_factors(policy, &f, 5)
-            );
+            assert_eq!(assign_factors(policy, &f, 5), assign_factors(policy, &f, 5));
         }
     }
 }

@@ -243,11 +243,7 @@ mod tests {
     use kfac_tensor::{kron, Rng64};
 
     fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
-        let x = Matrix::from_vec(
-            2 * n,
-            n,
-            (0..2 * n * n).map(|_| rng.normal_f32()).collect(),
-        );
+        let x = Matrix::from_vec(2 * n, n, (0..2 * n * n).map(|_| rng.normal_f32()).collect());
         let mut a = x.gram();
         a.scale(1.0 / (2 * n) as f32);
         a
@@ -307,7 +303,10 @@ mod tests {
         ad.add_diag(gamma);
         let mut gd = g.clone();
         gd.add_diag(gamma);
-        let big = kron(&kfac_tensor::invert(&gd).unwrap(), &kfac_tensor::invert(&ad).unwrap());
+        let big = kron(
+            &kfac_tensor::invert(&gd).unwrap(),
+            &kfac_tensor::invert(&ad).unwrap(),
+        );
         let v = big.matvec(grad.as_slice());
         let dense = Matrix::from_vec(2, 3, v);
         assert!(fast.max_abs_diff(&dense) < 1e-3);

@@ -25,18 +25,16 @@
 //! preconditioned gradient, which is then exchanged every iteration.
 
 use crate::config::{DistStrategy, InversionMethod, KfacConfig};
-use crate::distribution::{
-    assign_factors, assign_layers_lw, factor_descs, FactorDesc,
-};
+use crate::distribution::{assign_factors, assign_layers_lw, factor_descs, FactorDesc};
 use crate::math::{
-    decompose_factor_with, invert_factor, kl_clip_nu, precondition_eigen,
-    precondition_inverse, EigenPair, InversePair,
+    decompose_factor_with, invert_factor, kl_clip_nu, precondition_eigen, precondition_inverse,
+    EigenPair, InversePair,
 };
 use crate::stats::StageStats;
 use kfac_collectives::{Communicator, ReduceOp, TrafficClass};
 use kfac_nn::{KfacEligible, Layer};
+use kfac_telemetry::{Registry, Span};
 use kfac_tensor::{EigenDecomposition, Matrix};
-use std::time::Instant;
 
 /// Per-factor second-order state.
 enum FactorSecondOrder {
@@ -59,7 +57,13 @@ pub struct Kfac {
     epoch: usize,
     damping: f32,
     update_freq: usize,
-    stats: StageStats,
+    /// Ambient telemetry captured at construction (registry + the rank
+    /// this instance records as). All stage timing lives there; `None`
+    /// when the constructing thread had no recorder installed, in which
+    /// case [`Kfac::stats`] reports zero durations but correct counts.
+    telemetry: Option<(Registry, usize)>,
+    factor_updates: u64,
+    eig_updates: u64,
 }
 
 impl Kfac {
@@ -73,8 +77,7 @@ impl Kfac {
             !layers.is_empty(),
             "model has no K-FAC-eligible (Linear/Conv2d) layers"
         );
-        let layer_dims: Vec<(usize, usize)> =
-            layers.iter().map(|l| l.factor_dims()).collect();
+        let layer_dims: Vec<(usize, usize)> = layers.iter().map(|l| l.factor_dims()).collect();
         let factors = factor_descs(&layer_dims);
         let n_factors = factors.len();
         let damping = cfg.damping;
@@ -89,7 +92,9 @@ impl Kfac {
             epoch: 0,
             damping,
             update_freq,
-            stats: StageStats::new(),
+            telemetry: kfac_telemetry::current(),
+            factor_updates: 0,
+            eig_updates: 0,
         }
     }
 
@@ -103,9 +108,29 @@ impl Kfac {
         &self.factors
     }
 
-    /// Stage timing accumulated on this rank.
-    pub fn stats(&self) -> &StageStats {
-        &self.stats
+    /// Stage timing accumulated on this rank, as a view over the
+    /// telemetry registry: each duration is the summed time of the
+    /// matching `kfac/*` spans this rank recorded, so this is exactly
+    /// consistent with what the trace exporters see — there is no
+    /// second bookkeeping path. Counts are algorithmic state and are
+    /// correct even without an installed recorder.
+    pub fn stats(&self) -> StageStats {
+        let mut stats = StageStats::new();
+        stats.factor_updates = self.factor_updates;
+        stats.eig_updates = self.eig_updates;
+        stats.steps = self.iteration;
+        if let Some((registry, rank)) = &self.telemetry {
+            // Spans publish in batches; push this thread's tail so the
+            // view is exact at the moment of the snapshot.
+            kfac_telemetry::flush();
+            let rank = Some(*rank);
+            stats.factor_comp = registry.span_agg("kfac/factor_comp", rank).total;
+            stats.factor_comm = registry.span_agg("kfac/factor_comm", rank).total;
+            stats.eig_comp = registry.span_agg("kfac/eig_comp", rank).total;
+            stats.eig_comm = registry.span_agg("kfac/eig_comm", rank).total;
+            stats.precond = registry.span_agg("kfac/precond", rank).total;
+        }
+        stats
     }
 
     /// Current damping γ (after decays).
@@ -135,7 +160,7 @@ impl Kfac {
     /// trainer enables activation/gradient capture on the model exactly
     /// for these iterations, so ordinary iterations pay no capture cost.
     pub fn needs_capture(&self) -> bool {
-        self.iteration % self.factor_interval() as u64 == 0
+        self.iteration.is_multiple_of(self.factor_interval() as u64)
     }
 
     /// Run one preconditioning step (Algorithm 1). Call after the
@@ -151,10 +176,10 @@ impl Kfac {
         );
 
         let k = self.iteration;
-        if k % self.factor_interval() as u64 == 0 {
+        if k.is_multiple_of(self.factor_interval() as u64) {
             self.update_factors(&layers, comm);
         }
-        let eig_update = k % self.update_freq as u64 == 0;
+        let eig_update = k.is_multiple_of(self.update_freq as u64);
         match self.cfg.strategy {
             DistStrategy::Opt => {
                 if eig_update {
@@ -170,13 +195,14 @@ impl Kfac {
             }
         }
         self.iteration += 1;
-        self.stats.steps += 1;
     }
 
     /// Algorithm 1 lines 4–8: local factor computation, running-average
     /// update, fused allreduce.
     fn update_factors(&mut self, layers: &[&mut dyn KfacEligible], comm: &dyn Communicator) {
-        let t0 = Instant::now();
+        let comp_span = Span::enter("kfac/factor_comp")
+            .with("iter", self.iteration)
+            .with("layers", layers.len());
         for (li, layer) in layers.iter().enumerate() {
             assert!(
                 layer.has_capture(),
@@ -195,13 +221,13 @@ impl Kfac {
                 }
             }
         }
-        self.stats.factor_comp += t0.elapsed();
+        drop(comp_span);
 
         // Fused allreduce of every factor in one collective (the fusion
         // buffer rationale of §II-D; factors are small and numerous).
         // With `triangular_factor_comm` only the upper triangle travels:
         // factors are symmetric, so this halves the payload exactly.
-        let t1 = Instant::now();
+        let _comm_span = Span::enter("kfac/factor_comm").with("iter", self.iteration);
         if comm.size() > 1 {
             let triangular = self.cfg.triangular_factor_comm;
             let mut fused = Vec::new();
@@ -239,8 +265,7 @@ impl Kfac {
                 }
             }
         }
-        self.stats.factor_comm += t1.elapsed();
-        self.stats.factor_updates += 1;
+        self.factor_updates += 1;
     }
 
     /// Compute the second-order representation (eig or inverse) of one
@@ -296,7 +321,10 @@ impl Kfac {
         let rank = comm.rank();
         let assignment = assign_factors(self.cfg.placement, &self.factors, world);
 
-        let t0 = Instant::now();
+        let owned = assignment.iter().filter(|&&o| o == rank).count();
+        let comp_span = Span::enter("kfac/eig_comp")
+            .with("iter", self.iteration)
+            .with("factors", owned);
         let mut payload = Vec::new();
         for f in &self.factors {
             if assignment[f.id] == rank {
@@ -305,9 +333,9 @@ impl Kfac {
                 self.second_order[f.id] = so;
             }
         }
-        self.stats.eig_comp += t0.elapsed();
+        drop(comp_span);
 
-        let t1 = Instant::now();
+        let _comm_span = Span::enter("kfac/eig_comm").with("iter", self.iteration);
         if world > 1 {
             let gathered = comm.allgather_tagged(&payload, TrafficClass::Eigen);
             // Decode: walk factors in id order, consuming each owner's
@@ -326,8 +354,7 @@ impl Kfac {
                 self.second_order[f.id] = self.decode_second_order(f.id, data);
             }
         }
-        self.stats.eig_comm += t1.elapsed();
-        self.stats.eig_updates += 1;
+        self.eig_updates += 1;
     }
 
     /// K-FAC-lw second-order update: each layer's owner computes both of
@@ -338,16 +365,18 @@ impl Kfac {
         let rank = comm.rank();
         let owners = assign_layers_lw(self.num_layers(), world);
 
-        let t0 = Instant::now();
-        for li in 0..self.num_layers() {
-            if owners[li] == rank {
+        let owned = owners.iter().filter(|&&o| o == rank).count();
+        let _comp_span = Span::enter("kfac/eig_comp")
+            .with("iter", self.iteration)
+            .with("layers", owned);
+        for (li, &owner) in owners.iter().enumerate().take(self.num_layers()) {
+            if owner == rank {
                 for id in [2 * li, 2 * li + 1] {
                     self.second_order[id] = self.compute_second_order(id);
                 }
             }
         }
-        self.stats.eig_comp += t0.elapsed();
-        self.stats.eig_updates += 1;
+        self.eig_updates += 1;
     }
 
     /// Preconditioned gradient for one layer from stored second-order
@@ -362,15 +391,13 @@ impl Kfac {
                 grad,
                 self.damping,
             ),
-            (FactorSecondOrder::Inverse(a), FactorSecondOrder::Inverse(g)) => {
-                precondition_inverse(
-                    &InversePair {
-                        a_inv: a.clone(),
-                        g_inv: g.clone(),
-                    },
-                    grad,
-                )
-            }
+            (FactorSecondOrder::Inverse(a), FactorSecondOrder::Inverse(g)) => precondition_inverse(
+                &InversePair {
+                    a_inv: a.clone(),
+                    g_inv: g.clone(),
+                },
+                grad,
+            ),
             _ => unreachable!("second-order state missing for layer {li}"),
         }
     }
@@ -378,7 +405,7 @@ impl Kfac {
     /// Algorithm 1 lines 19–21 (K-FAC-opt): every rank preconditions all
     /// layers locally, then KL-clips.
     fn precondition_opt(&mut self, layers: &mut [&mut dyn KfacEligible], lr: f32) {
-        let t0 = Instant::now();
+        let _span = Span::enter("kfac/precond").with("iter", self.iteration);
         let grads: Vec<Matrix> = layers.iter().map(|l| l.grad_matrix()).collect();
         let preconds: Vec<Matrix> = grads
             .iter()
@@ -386,7 +413,6 @@ impl Kfac {
             .map(|(li, g)| self.precondition_layer(li, g))
             .collect();
         self.apply_with_clip(layers, &preconds, &grads, lr);
-        self.stats.precond += t0.elapsed();
     }
 
     /// K-FAC-lw per-iteration path: owners precondition their layers and
@@ -402,7 +428,7 @@ impl Kfac {
         let rank = comm.rank();
         let owners = assign_layers_lw(self.num_layers(), world);
 
-        let t0 = Instant::now();
+        let _span = Span::enter("kfac/precond").with("iter", self.iteration);
         let grads: Vec<Matrix> = layers.iter().map(|l| l.grad_matrix()).collect();
         let mut payload = Vec::new();
         for (li, grad) in grads.iter().enumerate() {
@@ -428,17 +454,12 @@ impl Kfac {
             let mut off = 0usize;
             for (li, &(da, dg)) in self.layer_dims.iter().enumerate() {
                 let len = da * dg;
-                preconds[li] = Some(Matrix::from_vec(
-                    dg,
-                    da,
-                    payload[off..off + len].to_vec(),
-                ));
+                preconds[li] = Some(Matrix::from_vec(dg, da, payload[off..off + len].to_vec()));
                 off += len;
             }
         }
         let preconds: Vec<Matrix> = preconds.into_iter().map(|p| p.expect("gathered")).collect();
         self.apply_with_clip(layers, &preconds, &grads, lr);
-        self.stats.precond += t0.elapsed();
     }
 
     /// Apply the KL-clip ν (Eq. 18) and write preconditioned gradients

@@ -27,13 +27,7 @@ fn build_model(seed: u64) -> Sequential {
 /// One forward/backward on a fixed batch with capture enabled as asked.
 fn run_fwd_bwd(model: &mut Sequential, capture: bool, data_seed: u64) {
     let mut rng = Rng64::new(data_seed);
-    let x = Tensor4::from_vec(
-        8,
-        6,
-        1,
-        1,
-        (0..48).map(|_| rng.normal_f32()).collect(),
-    );
+    let x = Tensor4::from_vec(8, 6, 1, 1, (0..48).map(|_| rng.normal_f32()).collect());
     let targets: Vec<usize> = (0..8).map(|i| i % 4).collect();
     model.zero_grad();
     model.set_capture(capture);
@@ -196,7 +190,10 @@ fn stale_second_order_iterations_need_no_kfac_communication() {
     });
     for ranks in &traffic {
         let after_first = ranks[0];
-        assert!(after_first.0 > 0 && after_first.1 > 0, "step 0 communicates");
+        assert!(
+            after_first.0 > 0 && after_first.1 > 0,
+            "step 0 communicates"
+        );
         for later in &ranks[1..] {
             assert_eq!(*later, after_first, "stale steps must not communicate");
         }
@@ -213,10 +210,13 @@ fn kfac_descends_faster_than_sgd_on_shared_iterations() {
         let comm = LocalComm::new();
         let mut model = build_model(7);
         let mut opt = Sgd::new(0.9, 0.0);
-        let mut kfac = Kfac::new(&mut model, KfacConfig {
-            update_freq: 5,
-            ..KfacConfig::default()
-        });
+        let mut kfac = Kfac::new(
+            &mut model,
+            KfacConfig {
+                update_freq: 5,
+                ..KfacConfig::default()
+            },
+        );
         let criterion = CrossEntropyLoss::new();
         let mut rng = Rng64::new(5);
         let x = Tensor4::from_vec(16, 6, 1, 1, (0..96).map(|_| rng.normal_f32()).collect());
@@ -243,7 +243,10 @@ fn kfac_descends_faster_than_sgd_on_shared_iterations() {
         kfac_loss < sgd_loss * 1.05,
         "kfac {kfac_loss} should not lose badly to sgd {sgd_loss}"
     );
-    assert!(kfac_loss < 1.0, "kfac must actually be learning: {kfac_loss}");
+    assert!(
+        kfac_loss < 1.0,
+        "kfac must actually be learning: {kfac_loss}"
+    );
 }
 
 #[test]

@@ -1,9 +1,7 @@
 //! Property tests for the K-FAC math and distribution invariants.
 
 use kfac::config::PlacementPolicy;
-use kfac::distribution::{
-    assign_factors, assign_layers_lw, factor_descs, makespan, per_rank_cost,
-};
+use kfac::distribution::{assign_factors, assign_layers_lw, factor_descs, makespan, per_rank_cost};
 use kfac::math::{
     decompose_factor, invert_factor, kl_clip_nu, precondition_eigen, precondition_inverse,
     EigenPair, InversePair,

@@ -29,4 +29,4 @@ pub mod synthetic;
 pub use cifar::synthetic_cifar;
 pub use imagenet::synthetic_imagenet;
 pub use sampler::ShardedSampler;
-pub use synthetic::{Dataset, SyntheticConfig, SyntheticImages, batch_of};
+pub use synthetic::{batch_of, Dataset, SyntheticConfig, SyntheticImages};

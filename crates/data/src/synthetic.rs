@@ -118,8 +118,7 @@ impl SyntheticImages {
                     }
                 }
             }
-            let rms = (img.iter().map(|&v| (v * v) as f64).sum::<f64>()
-                / img.len() as f64)
+            let rms = (img.iter().map(|&v| (v * v) as f64).sum::<f64>() / img.len() as f64)
                 .sqrt()
                 .max(1e-6) as f32;
             for v in &mut img {
@@ -149,15 +148,7 @@ impl SyntheticImages {
 
     /// Render the template for `class` circularly shifted by integer
     /// `(dy, dx)`, optionally flipped, scaled, into `out`.
-    fn render(
-        &self,
-        class: usize,
-        dy: isize,
-        dx: isize,
-        flip: bool,
-        scale: f32,
-        out: &mut [f32],
-    ) {
+    fn render(&self, class: usize, dy: isize, dx: isize, flip: bool, scale: f32, out: &mut [f32]) {
         let (c, h, w) = (self.cfg.channels, self.cfg.height, self.cfg.width);
         let t = &self.templates[class];
         for ci in 0..c {

@@ -1,14 +1,21 @@
 //! `xp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! xp <experiment> [--scale smoke|quick|full] [--out results/]
+//! xp <experiment> [--scale smoke|quick|full] [--out results/] [--trace-out trace.json]
 //! xp all [--scale …]        # everything
 //! xp list                   # available experiment ids
 //! ```
+//!
+//! With `--trace-out`, every run (measured CPU training and simulator
+//! projections alike) records spans into one shared telemetry registry;
+//! at exit the timeline is written as Chrome trace-event JSON (open in
+//! `chrome://tracing` or Perfetto) and a per-stage breakdown table with
+//! p50/p95/p99 is printed to stderr.
 
 use kfac_harness::experiments::{self, ALL_EXPERIMENTS};
 use kfac_harness::presets::Scale;
 use kfac_harness::report::append_to_file;
+use kfac_telemetry::{export, Registry};
 use std::path::PathBuf;
 
 fn main() {
@@ -24,21 +31,30 @@ fn main() {
 
     let mut scale = Scale::Quick;
     let mut out_dir: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
-                    .unwrap_or_else(|| {
+                scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or("")).unwrap_or_else(
+                    || {
                         eprintln!("invalid --scale (smoke|quick|full)");
                         std::process::exit(2);
-                    });
+                    },
+                );
             }
             "--out" => {
                 i += 1;
                 out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                })));
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a file path");
                     std::process::exit(2);
                 })));
             }
@@ -49,6 +65,12 @@ fn main() {
         }
         i += 1;
     }
+
+    // One registry for the whole invocation: installing it on the main
+    // thread makes it ambient, so every train() the drivers launch (and
+    // every simulator trace) lands on the same timeline.
+    let registry = Registry::new();
+    let telemetry_guard = registry.install(0);
 
     let ids: Vec<&str> = if target == "all" {
         // Deduplicate aliases (table2/fig4 and table3/fig6 share drivers).
@@ -67,7 +89,10 @@ fn main() {
             Some(output) => {
                 let md = output.to_markdown();
                 println!("{md}");
-                eprintln!("=== {id} done in {:.1}s ===\n", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "=== {id} done in {:.1}s ===\n",
+                    started.elapsed().as_secs_f64()
+                );
                 if let Some(dir) = &out_dir {
                     let path = dir.join(format!("{id}.md"));
                     if let Err(e) = append_to_file(&path, &md) {
@@ -81,11 +106,31 @@ fn main() {
             }
         }
     }
+
+    drop(telemetry_guard);
+    let events = registry.events();
+    if !events.is_empty() {
+        eprintln!("{}", export::stage_table(&events));
+    }
+    if let Some(path) = trace_out {
+        match std::fs::write(&path, export::chrome_trace(&events)) {
+            Ok(()) => eprintln!(
+                "wrote {} trace events to {} (open in chrome://tracing or Perfetto)",
+                events.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: xp <experiment|all|list> [--scale smoke|quick|full] [--out DIR]\n\
+        "usage: xp <experiment|all|list> [--scale smoke|quick|full] [--out DIR] \
+         [--trace-out FILE]\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -38,7 +38,7 @@ fn run_pair(setup: &CifarSetup, ranks: usize) -> (TrainResult, TrainResult) {
     .with_kfac(KfacConfig {
         update_freq: 10,
         damping: 0.1,
-            kl_clip: Some(0.01),
+        kl_clip: Some(0.01),
         ..KfacConfig::default()
     });
     let kfac = train(|s| setup.model(s), &setup.train, &setup.val, &kfac_cfg);
@@ -136,7 +136,10 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         worst_gap * 100.0
     ));
     if worst_gap > -0.02 {
-        notes.push("Shape holds: K-FAC matches SGD (±2 points) in half the epochs at every worker count.".into());
+        notes.push(
+            "Shape holds: K-FAC matches SGD (±2 points) in half the epochs at every worker count."
+                .into(),
+        );
     } else {
         notes.push("Shape DEVIATION: K-FAC trails SGD by more than 2 points somewhere.".into());
     }

@@ -37,7 +37,12 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             .scale_for_workers(ranks),
         )
     };
-    let sgd = train(|s| setup.correctness_model(s), &setup.train, &setup.val, &sgd_cfg);
+    let sgd = train(
+        |s| setup.correctness_model(s),
+        &setup.train,
+        &setup.val,
+        &sgd_cfg,
+    );
 
     let kfac_cfg = TrainConfig {
         label_smoothing: 0.1,
@@ -55,10 +60,15 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     .with_kfac(KfacConfig {
         update_freq: 10,
         damping: 0.1,
-            kl_clip: Some(0.01),
+        kl_clip: Some(0.01),
         ..KfacConfig::default()
     });
-    let kfac = train(|s| setup.correctness_model(s), &setup.train, &setup.val, &kfac_cfg);
+    let kfac = train(
+        |s| setup.correctness_model(s),
+        &setup.train,
+        &setup.val,
+        &kfac_cfg,
+    );
 
     let baseline = sgd.final_val_acc;
 
@@ -70,7 +80,11 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         curves.row(vec![rec.epoch.to_string(), "SGD".into(), pct(rec.val_acc)]);
     }
     for rec in &kfac.epochs {
-        curves.row(vec![rec.epoch.to_string(), "K-FAC".into(), pct(rec.val_acc)]);
+        curves.row(vec![
+            rec.epoch.to_string(),
+            "K-FAC".into(),
+            pct(rec.val_acc),
+        ]);
     }
 
     let mut summary = Table::new(

@@ -17,16 +17,15 @@ use crate::presets::{ImagenetSetup, Scale};
 use crate::report::{hms, pct, Table};
 use crate::trainer::{train, TrainConfig};
 use kfac::KfacConfig;
-use kfac_data::Dataset as _;
 use kfac_cluster::{
     scaling::TrainingBudget, ClusterSpec, IterationModel, KfacRunConfig, ModelProfile,
 };
+use kfac_data::Dataset as _;
 use kfac_nn::arch::{resnet101, resnet152, resnet50};
 use kfac_optim::LrSchedule;
 
 /// The paper's interval sweep at 64 GPUs, as fractions of an epoch.
-const PAPER_FRACTIONS: &[(usize, f64)] =
-    &[(10, 0.016), (100, 0.16), (500, 0.8), (1000, 1.6)];
+const PAPER_FRACTIONS: &[(usize, f64)] = &[(10, 0.016), (100, 0.16), (500, 0.8), (1000, 1.6)];
 
 /// Run the experiment (serves both `table3` and `fig6`).
 pub fn run(scale: Scale) -> ExperimentOutput {
@@ -69,7 +68,12 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             eigen_solver: kfac::EigenSolver::TridiagonalQl,
             ..KfacConfig::default()
         });
-        let r = train(|s| setup.correctness_model(s), &setup.train, &setup.val, &cfg);
+        let r = train(
+            |s| setup.correctness_model(s),
+            &setup.train,
+            &setup.val,
+            &cfg,
+        );
         acc_rows.push((paper_freq, freq, r.final_val_acc));
         let tail_start = setup.kfac_epochs - (setup.kfac_epochs / 3).max(1);
         let mut tail = Vec::new();
@@ -105,8 +109,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             budget.local_batch,
         );
         let iters = budget.dataset / (64 * budget.local_batch);
-        let sgd_min =
-            model.sgd_iteration().total() * (iters * budget.sgd_epochs) as f64 / 60.0;
+        let sgd_min = model.sgd_iteration().total() * (iters * budget.sgd_epochs) as f64 / 60.0;
         let mut cells = vec![arch.name.clone(), hms(sgd_min * 60.0)];
         for freq in [100usize, 500, 1000] {
             let t = model

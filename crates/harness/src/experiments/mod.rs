@@ -58,8 +58,20 @@ impl ExperimentOutput {
 
 /// All experiment ids the `xp` binary accepts.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig4", "fig5", "table3", "fig6", "fig7", "fig8", "fig9", "table4",
-    "table5", "table6", "fig10", "ablations",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "table3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table4",
+    "table5",
+    "table6",
+    "fig10",
+    "ablations",
 ];
 
 /// Dispatch one experiment by id.

@@ -7,10 +7,10 @@
 //! worker counts with the same linear batch/LR scaling on the synthetic
 //! CIFAR stand-in and compare the three optimizers at each global batch.
 
+use crate::experiments::ExperimentOutput;
 use crate::presets::{CifarSetup, Scale};
 use crate::report::{pct, Table};
 use crate::trainer::{train, TrainConfig};
-use crate::experiments::ExperimentOutput;
 use kfac::{InversionMethod, KfacConfig};
 use kfac_optim::LrSchedule;
 
@@ -86,7 +86,12 @@ pub fn run(scale: Scale) -> ExperimentOutput {
 
     let mut table = Table::new(
         "Table I — CIFAR-ResNet validation accuracy: inverse vs eigen K-FAC",
-        &["Batch Size", "SGD", "K-FAC w/ Inverse", "K-FAC w/ Eigen-decomp."],
+        &[
+            "Batch Size",
+            "SGD",
+            "K-FAC w/ Inverse",
+            "K-FAC w/ Eigen-decomp.",
+        ],
     );
     for c in &cells {
         table.row(vec![

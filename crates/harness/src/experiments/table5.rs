@@ -14,7 +14,14 @@ use kfac_nn::arch::{resnet101, resnet152, resnet50};
 pub fn run() -> ExperimentOutput {
     let mut table = Table::new(
         "Table V — per-update stage times (projected; R50@16 is the calibration anchor)",
-        &["Model", "GPUs", "Factor Tcomp", "Factor Tcomm", "Eig Tcomp", "Eig Tcomm"],
+        &[
+            "Model",
+            "GPUs",
+            "Factor Tcomp",
+            "Factor Tcomm",
+            "Eig Tcomp",
+            "Eig Tcomm",
+        ],
     );
 
     let mut factor_comps: Vec<(String, Vec<f64>)> = Vec::new();
@@ -40,9 +47,7 @@ pub fn run() -> ExperimentOutput {
 
     // Shape checks the paper's table exhibits.
     let mut notes = Vec::new();
-    let constant_in_gpus = factor_comps
-        .iter()
-        .all(|(_, v)| (v[0] - v[2]).abs() < 1e-9);
+    let constant_in_gpus = factor_comps.iter().all(|(_, v)| (v[0] - v[2]).abs() < 1e-9);
     notes.push(if constant_in_gpus {
         "Shape holds: factor Tcomp is constant in GPU count (not distributable).".into()
     } else {

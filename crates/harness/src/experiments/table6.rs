@@ -23,7 +23,9 @@ fn min_max(times: &[f64]) -> (f64, f64) {
 pub fn run() -> ExperimentOutput {
     let mut table = Table::new(
         "Table VI — min/max eigendecomposition worker speedup vs 16 GPUs (round-robin)",
-        &["GPUs", "R50 min", "R50 max", "R101 min", "R101 max", "R152 min", "R152 max"],
+        &[
+            "GPUs", "R50 min", "R50 max", "R101 min", "R101 max", "R152 min", "R152 max",
+        ],
     );
     let mut ablation = Table::new(
         "Table VI′ (extension) — eig-stage makespan: round-robin vs size-balanced LPT",
@@ -69,11 +71,7 @@ pub fn run() -> ExperimentOutput {
     // (slowest-worker) speedup for every model.
     let mut holds = true;
     for (ai, arch) in archs.iter().enumerate() {
-        let m = IterationModel::new(
-            ModelProfile::from_arch(arch),
-            ClusterSpec::frontera(64),
-            32,
-        );
+        let m = IterationModel::new(ModelProfile::from_arch(arch), ClusterSpec::frontera(64), 32);
         let (mn64, mx64) = min_max(&m.eig_worker_times_s(PlacementPolicy::RoundRobin));
         let fast = base[ai].0 / mn64;
         let slow = base[ai].1 / mx64;

@@ -227,10 +227,7 @@ mod tests {
         assert_eq!(s.train.num_classes(), 10);
         assert_eq!(s.kfac_epochs, s.sgd_epochs / 2);
         let mut m = s.model(1);
-        assert_eq!(
-            m.output_shape((2, 3, s.size, s.size)),
-            (2, 10, 1, 1)
-        );
+        assert_eq!(m.output_shape((2, 3, s.size, s.size)), (2, 10, 1, 1));
         // Same seed → same model.
         let mut m2 = s.model(1);
         let (mut w1, mut w2) = (Vec::new(), Vec::new());

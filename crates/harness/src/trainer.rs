@@ -13,6 +13,7 @@ use kfac_collectives::{Communicator, LocalComm, ReduceOp, ThreadComm, Traffic, T
 use kfac_data::{batch_of, Dataset, ShardedSampler};
 use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
 use kfac_optim::{LrSchedule, Optimizer, Sgd};
+use kfac_telemetry::{Registry, Span};
 use std::time::Instant;
 
 /// Full configuration of one training run.
@@ -37,6 +38,10 @@ pub struct TrainConfig {
     pub kfac: Option<KfacConfig>,
     /// Master seed (models, shuffles).
     pub seed: u64,
+    /// Telemetry registry the run records into. `None` (the default)
+    /// creates a fresh registry per run; pass a shared one to collect
+    /// several runs onto a single timeline (e.g. `xp --trace-out`).
+    pub telemetry: Option<Registry>,
 }
 
 impl TrainConfig {
@@ -52,6 +57,7 @@ impl TrainConfig {
             label_smoothing: 0.0,
             kfac: None,
             seed: 42,
+            telemetry: None,
         }
     }
 
@@ -90,12 +96,18 @@ pub struct TrainResult {
     pub traffic: Traffic,
     /// Rank-0 K-FAC stage stats (if K-FAC ran).
     pub stage_stats: Option<StageStats>,
+    /// The telemetry registry the run recorded into: per-rank spans for
+    /// every iteration stage, exportable via `kfac_telemetry::export`.
+    pub telemetry: Registry,
 }
 
 impl TrainResult {
     /// First epoch whose validation accuracy reached `target`, if any.
     pub fn epochs_to_reach(&self, target: f64) -> Option<usize> {
-        self.epochs.iter().find(|e| e.val_acc >= target).map(|e| e.epoch)
+        self.epochs
+            .iter()
+            .find(|e| e.val_acc >= target)
+            .map(|e| e.epoch)
     }
 }
 
@@ -156,16 +168,19 @@ fn run_rank(
     train_ds: &dyn Dataset,
     val_ds: &dyn Dataset,
     cfg: &TrainConfig,
+    registry: &Registry,
 ) -> Option<TrainResult> {
+    // Record this thread's spans into the run registry as `rank`; the
+    // guard flushes on scope exit. Must precede Kfac::new, which
+    // captures the ambient recorder for its stats view.
+    let _telemetry = registry.install(rank);
+    let setup_span = Span::enter("train/setup").with("ranks", cfg.ranks);
     // Identical replicas: every rank builds from the same seed (the
     // paper broadcasts initial weights; same-seed construction is the
     // deterministic equivalent).
     let mut model = build_model(cfg.seed);
     let mut optimizer = Sgd::new(cfg.momentum, cfg.weight_decay);
-    let mut kfac = cfg
-        .kfac
-        .clone()
-        .map(|k| Kfac::new(&mut model, k));
+    let mut kfac = cfg.kfac.clone().map(|k| Kfac::new(&mut model, k));
     let criterion = CrossEntropyLoss::with_smoothing(cfg.label_smoothing);
     let sampler = ShardedSampler::new(
         train_ds.len(),
@@ -175,6 +190,7 @@ fn run_rank(
         cfg.seed ^ 0x5a5a,
     );
     let iters_per_epoch = sampler.batches_per_epoch();
+    drop(setup_span);
 
     let mut records = Vec::with_capacity(cfg.epochs);
     let t_start = Instant::now();
@@ -190,24 +206,42 @@ fn run_rank(
                 .lr
                 .lr_at(epoch as f32 + bi as f32 / iters_per_epoch as f32);
             let capture = kfac.as_ref().map(|k| k.needs_capture()).unwrap_or(false);
+            let _iter_span = Span::enter("train/iteration")
+                .with("epoch", epoch)
+                .with("iter", bi);
             model.zero_grad();
             model.set_capture(capture);
 
             let (x, labels) = batch_of(train_ds, &indices, epoch as u64 + 1);
-            let out = model.forward(&x, Mode::Train);
-            let (loss, grad) = criterion.forward(&out, &labels);
-            loss_sum += loss as f64;
-            let _ = model.backward(&grad);
+            {
+                let _span = Span::enter("train/forward").with("batch", indices.len());
+                let out = model.forward(&x, Mode::Train);
+                let (loss, grad) = criterion.forward(&out, &labels);
+                loss_sum += loss as f64;
+                drop(_span);
+                let _span = Span::enter("train/backward");
+                let _ = model.backward(&grad);
+            }
 
-            allreduce_gradients(&mut model, comm);
+            {
+                let _span = Span::enter("train/grad_allreduce");
+                allreduce_gradients(&mut model, comm);
+            }
             if let Some(k) = &mut kfac {
+                let _span = Span::enter("train/kfac_step").with("capture", capture as u64);
                 k.step(&mut model, comm, lr);
             }
-            optimizer.step(&mut model, lr);
+            {
+                let _span = Span::enter("train/opt_step");
+                optimizer.step(&mut model, lr);
+            }
         }
         let wall_s = t_epoch.elapsed().as_secs_f64();
 
-        let val_acc = validate(&mut model, val_ds, comm, cfg.local_batch.max(32));
+        let val_acc = {
+            let _span = Span::enter("train/eval").with("epoch", epoch);
+            validate(&mut model, val_ds, comm, cfg.local_batch.max(32))
+        };
         records.push(EpochRecord {
             epoch,
             train_loss: loss_sum / iters_per_epoch.max(1) as f64,
@@ -226,7 +260,8 @@ fn run_rank(
         best_val_acc: best,
         total_s: t_start.elapsed().as_secs_f64(),
         traffic: comm.traffic(),
-        stage_stats: kfac.map(|k| k.stats().clone()),
+        stage_stats: kfac.map(|k| k.stats()),
+        telemetry: registry.clone(),
         epochs: records,
     })
 }
@@ -242,19 +277,28 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainResult {
     assert!(cfg.ranks >= 1);
+    // Precedence: explicit per-run registry, else the calling thread's
+    // ambient one (so `xp --trace-out` captures every run it drives
+    // without each driver threading a handle), else a fresh registry.
+    let registry = cfg
+        .telemetry
+        .clone()
+        .or_else(|| kfac_telemetry::current().map(|(r, _)| r))
+        .unwrap_or_default();
     if cfg.ranks == 1 {
         let comm = LocalComm::new();
-        return run_rank(0, &comm, &build_model, train_ds, val_ds, cfg)
+        return run_rank(0, &comm, &build_model, train_ds, val_ds, cfg, &registry)
             .expect("rank 0 returns");
     }
     let comms = ThreadComm::create(cfg.ranks);
     let build_model = &build_model;
+    let registry = &registry;
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .iter()
             .enumerate()
             .map(|(rank, comm)| {
-                s.spawn(move || run_rank(rank, comm, build_model, train_ds, val_ds, cfg))
+                s.spawn(move || run_rank(rank, comm, build_model, train_ds, val_ds, cfg, registry))
             })
             .collect();
         let mut result = None;
@@ -317,8 +361,15 @@ mod tests {
         cfg.lr.warmup_epochs = 1.0;
         let result = train(build, &train_ds, &val_ds, &cfg);
         assert_eq!(result.epochs.len(), 3);
-        assert!(result.traffic.gradient_bytes > 0, "gradients were exchanged");
-        assert!(result.best_val_acc > 0.12, "above chance: {}", result.best_val_acc);
+        assert!(
+            result.traffic.gradient_bytes > 0,
+            "gradients were exchanged"
+        );
+        assert!(
+            result.best_val_acc > 0.12,
+            "above chance: {}",
+            result.best_val_acc
+        );
     }
 
     #[test]
@@ -355,15 +406,31 @@ mod tests {
     fn epochs_to_reach_finds_threshold() {
         let r = TrainResult {
             epochs: vec![
-                EpochRecord { epoch: 0, train_loss: 1.0, val_acc: 0.3, wall_s: 1.0 },
-                EpochRecord { epoch: 1, train_loss: 0.5, val_acc: 0.6, wall_s: 1.0 },
-                EpochRecord { epoch: 2, train_loss: 0.4, val_acc: 0.7, wall_s: 1.0 },
+                EpochRecord {
+                    epoch: 0,
+                    train_loss: 1.0,
+                    val_acc: 0.3,
+                    wall_s: 1.0,
+                },
+                EpochRecord {
+                    epoch: 1,
+                    train_loss: 0.5,
+                    val_acc: 0.6,
+                    wall_s: 1.0,
+                },
+                EpochRecord {
+                    epoch: 2,
+                    train_loss: 0.4,
+                    val_acc: 0.7,
+                    wall_s: 1.0,
+                },
             ],
             final_val_acc: 0.7,
             best_val_acc: 0.7,
             total_s: 3.0,
             traffic: Traffic::default(),
             stage_stats: None,
+            telemetry: Registry::new(),
         };
         assert_eq!(r.epochs_to_reach(0.6), Some(1));
         assert_eq!(r.epochs_to_reach(0.9), None);

@@ -1,0 +1,151 @@
+//! Integration: a 4-rank CIFAR smoke run must leave a complete, valid
+//! telemetry trail — per-rank per-iteration spans with the expected
+//! names, byte-tagged collectives, a parseable Chrome trace, and a
+//! stage breakdown that accounts for the measured wall time.
+
+use kfac::KfacConfig;
+use kfac_data::synthetic_cifar;
+use kfac_harness::trainer::{train, TrainConfig};
+use kfac_nn::resnet::resnet_cifar;
+use kfac_nn::Sequential;
+use kfac_optim::LrSchedule;
+use kfac_telemetry::{export, AttrValue, Registry};
+use kfac_tensor::Rng64;
+
+fn build(seed: u64) -> Sequential {
+    let mut rng = Rng64::new(seed);
+    resnet_cifar(1, 4, 10, 3, &mut rng)
+}
+
+fn run_4rank_smoke() -> (kfac_harness::trainer::TrainResult, Registry) {
+    let (train_ds, val_ds) = synthetic_cifar(8, 256, 64, 17);
+    let registry = Registry::new();
+    let cfg = TrainConfig {
+        telemetry: Some(registry.clone()),
+        ..TrainConfig::new(
+            4,
+            16,
+            2,
+            LrSchedule {
+                warmup_epochs: 1.0,
+                ..LrSchedule::paper_steps(0.1, vec![1])
+            },
+        )
+    }
+    .with_kfac(KfacConfig {
+        update_freq: 4,
+        damping: 0.1,
+        ..KfacConfig::default()
+    });
+    let result = train(build, &train_ds, &val_ds, &cfg);
+    (result, registry)
+}
+
+#[test]
+fn four_rank_run_traces_every_stage_on_every_rank() {
+    let (result, registry) = run_4rank_smoke();
+    let events = registry.events();
+    assert!(!events.is_empty(), "training must record spans");
+
+    // 256 samples / (4 ranks × batch 16) = 4 iterations/epoch × 2 epochs.
+    let iters_per_rank = 8;
+    let expected = [
+        "train/iteration",
+        "train/forward",
+        "train/backward",
+        "train/grad_allreduce",
+        "train/kfac_step",
+        "train/opt_step",
+    ];
+    for rank in 0..4 {
+        for name in expected {
+            let n = events
+                .iter()
+                .filter(|e| e.rank == rank && e.name == name)
+                .count();
+            assert_eq!(
+                n, iters_per_rank,
+                "rank {rank} should record {iters_per_rank} `{name}` spans, got {n}"
+            );
+        }
+        // K-FAC stages fired: factor updates every iteration here
+        // (update_freq 4 → factor interval 1), eig on iterations 0 and 4.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.rank == rank && e.name == "kfac/eig_comp"),
+            "rank {rank} missing eigendecomposition spans"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.rank == rank && e.name == "kfac/precond"),
+            "rank {rank} missing preconditioning spans"
+        );
+    }
+
+    // Collectives carry non-zero byte tags with a traffic class.
+    let allreduces: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "comm/allreduce")
+        .collect();
+    assert!(!allreduces.is_empty());
+    for e in &allreduces {
+        match e.attr("bytes") {
+            Some(&AttrValue::U64(b)) => assert!(b > 0, "allreduce tagged with zero bytes"),
+            other => panic!("allreduce missing byte tag: {other:?}"),
+        }
+        assert!(e.attr("class").is_some(), "allreduce missing traffic class");
+    }
+
+    // The preconditioner's stats view agrees with the registry.
+    let stats = result.stage_stats.expect("kfac run has stage stats");
+    assert_eq!(stats.steps, iters_per_rank as u64);
+    let precond_total = registry.span_agg("kfac/precond", Some(0)).total;
+    assert_eq!(stats.precond, precond_total);
+}
+
+#[test]
+fn four_rank_trace_exports_and_accounts_for_wall_time() {
+    let (_result, registry) = run_4rank_smoke();
+    let events = registry.events();
+
+    // Chrome trace: well-formed JSON with all four rank lanes.
+    let trace = export::chrome_trace(&events);
+    let parsed = kfac_telemetry::json::Json::parse(&trace).expect("valid JSON");
+    let trace_events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(trace_events.len() > events.len(), "X events plus metadata");
+    for rank in 0..4u32 {
+        assert!(
+            trace_events.iter().any(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    && e.get("tid").and_then(|t| t.as_f64()) == Some(f64::from(rank))
+            }),
+            "rank {rank} has no lane in the Chrome trace"
+        );
+    }
+
+    // Stage accounting: summed top-level spans (setup + iterations +
+    // eval) must explain each rank's measured wall clock to within 5% —
+    // only inter-span instruction gaps are untraced.
+    let wall = export::wall_time(&events);
+    let iter_agg = registry.span_agg("train/iteration", Some(0));
+    assert!(iter_agg.total <= wall, "busy time cannot exceed wall time");
+    for rank in 0..4 {
+        let lane: Vec<_> = events
+            .iter()
+            .filter(|e| e.rank == rank && e.depth == 0)
+            .collect();
+        let busy_us: u64 = lane.iter().map(|e| e.dur_us).sum();
+        let start = lane.iter().map(|e| e.start_us).min().unwrap();
+        let end = lane.iter().map(|e| e.end_us()).max().unwrap();
+        let lane_wall_us = end - start;
+        assert!(
+            busy_us as f64 >= 0.95 * lane_wall_us as f64,
+            "rank {rank}: stage spans cover {busy_us} of {lane_wall_us} µs (<95%)"
+        );
+    }
+}

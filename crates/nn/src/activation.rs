@@ -66,19 +66,11 @@ impl Layer for ReLU {
         dx
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         input
     }
 
-    fn visit_params(
-        &mut self,
-        _prefix: &str,
-        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
-    }
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {}
 
     fn set_capture(&mut self, _on: bool) {}
 

@@ -455,10 +455,7 @@ mod tests {
         // Stem: A = 3·7·7 = 147, G = 64.
         assert_eq!(m.layers[0].factor_dims(), (147, 64));
         // fc: bias-augmented 2049 × 1000.
-        assert_eq!(
-            m.layers.last().unwrap().factor_dims(),
-            (2049, 1000)
-        );
+        assert_eq!(m.layers.last().unwrap().factor_dims(), (2049, 1000));
         // Largest conv factor: s3 3×3 conv has A = 512·9 = 4608.
         let max_a = m.layers.iter().map(|l| l.factor_dims().0).max().unwrap();
         assert_eq!(max_a, 4608);

@@ -55,6 +55,9 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    // Per-channel statistics loops index several buffers by `ci`; the
+    // range form mirrors the math.
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
         let (n, c, h, w) = input.shape();
         assert_eq!(c, self.channels, "channel mismatch in {}", self.name);
@@ -76,8 +79,7 @@ impl Layer for BatchNorm2d {
                         }
                     }
                     let mean = (sum / m as f64) as f32;
-                    let var = ((sumsq / m as f64) - (mean as f64) * (mean as f64))
-                        .max(0.0) as f32;
+                    let var = ((sumsq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
                     let istd = 1.0 / (var + self.eps).sqrt();
                     inv_std[ci] = istd;
 
@@ -90,8 +92,7 @@ impl Layer for BatchNorm2d {
                     let b = self.beta[ci];
                     for ni in 0..n {
                         let xp = input.plane(ni, ci);
-                        let hp: Vec<f32> =
-                            xp.iter().map(|&v| (v - mean) * istd).collect();
+                        let hp: Vec<f32> = xp.iter().map(|&v| (v - mean) * istd).collect();
                         xhat.plane_mut(ni, ci).copy_from_slice(&hp);
                         for (o, &hv) in out.plane_mut(ni, ci).iter_mut().zip(&hp) {
                             *o = g * hv + b;
@@ -119,9 +120,13 @@ impl Layer for BatchNorm2d {
         out
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
         let xhat = self.xhat.take().expect("backward without training forward");
-        let inv_std = self.inv_std.take().expect("backward without training forward");
+        let inv_std = self
+            .inv_std
+            .take()
+            .expect("backward without training forward");
         let (n, c, h, w) = grad_output.shape();
         let m = (n * h * w) as f32;
         let mut dx = Tensor4::zeros(n, c, h, w);
@@ -146,9 +151,7 @@ impl Layer for BatchNorm2d {
             for ni in 0..n {
                 let dyp = grad_output.plane(ni, ci);
                 let hp = xhat.plane(ni, ci);
-                for ((o, &dy), &hv) in
-                    dx.plane_mut(ni, ci).iter_mut().zip(dyp).zip(hp)
-                {
+                for ((o, &dy), &hv) in dx.plane_mut(ni, ci).iter_mut().zip(dyp).zip(hp) {
                     *o = g_istd * (dy - mean_dy - hv * mean_dy_xhat);
                 }
             }
@@ -156,18 +159,11 @@ impl Layer for BatchNorm2d {
         dx
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         input
     }
 
-    fn visit_params(
-        &mut self,
-        prefix: &str,
-        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
         let gname = format!("{prefix}{}.gamma", self.name);
         f(&gname, &mut self.gamma, &mut self.grad_gamma);
         let bname = format!("{prefix}{}.beta", self.name);
@@ -202,8 +198,8 @@ mod tests {
                 vals.extend_from_slice(y.plane(ni, ci));
             }
             let m: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
-            let v: f64 = vals.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>()
-                / vals.len() as f64;
+            let v: f64 =
+                vals.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / vals.len() as f64;
             assert!(m.abs() < 1e-4, "mean {m}");
             assert!((v - 1.0).abs() < 1e-2, "var {v}");
         }

@@ -99,8 +99,8 @@ impl Conv2d {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = rows.row((ni * oh + oy) * ow + ox);
-                    for ci in 0..c {
-                        *t.at_mut(ni, ci, oy, ox) = row[ci];
+                    for (ci, &v) in row.iter().enumerate().take(c) {
+                        *t.at_mut(ni, ci, oy, ox) = v;
                     }
                 }
             }
@@ -186,10 +186,7 @@ impl Layer for Conv2d {
         col2im(&dcols, in_shape, self.k, self.stride, self.pad)
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         let (n, _c, h, w) = input;
         (
             n,
@@ -199,11 +196,7 @@ impl Layer for Conv2d {
         )
     }
 
-    fn visit_params(
-        &mut self,
-        prefix: &str,
-        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
         let wname = format!("{prefix}{}.weight", self.name);
         f(&wname, &mut self.weight, &mut self.grad_weight);
         if let (Some(b), Some(gb)) = (&mut self.bias, &mut self.grad_bias) {
@@ -275,8 +268,7 @@ impl KfacEligible for Conv2d {
             self.name
         );
         for o in 0..self.c_out {
-            self.grad_weight[o * fan_in..(o + 1) * fan_in]
-                .copy_from_slice(&grad.row(o)[..fan_in]);
+            self.grad_weight[o * fan_in..(o + 1) * fan_in].copy_from_slice(&grad.row(o)[..fan_in]);
             if extra == 1 {
                 self.grad_bias.as_mut().expect("bias grad")[o] = grad.row(o)[fan_in];
             }

@@ -48,15 +48,13 @@ pub fn im2col(input: &Tensor4, k: usize, stride: usize, pad: usize) -> Matrix {
                             let iy = iy0 + ky as isize;
                             for kx in 0..k {
                                 let ix = ix0 + kx as isize;
-                                row[col] = if iy >= 0
-                                    && (iy as usize) < h
-                                    && ix >= 0
-                                    && (ix as usize) < w
-                                {
-                                    plane[iy as usize * w + ix as usize]
-                                } else {
-                                    0.0
-                                };
+                                row[col] =
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                                    {
+                                        plane[iy as usize * w + ix as usize]
+                                    } else {
+                                        0.0
+                                    };
                                 col += 1;
                             }
                         }
@@ -102,8 +100,7 @@ pub fn col2im(
                             let iy = iy0 + ky as isize;
                             for kx in 0..k {
                                 let ix = ix0 + kx as isize;
-                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
-                                {
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
                                     plane[iy as usize * w + ix as usize] += row[col];
                                 }
                                 col += 1;
@@ -132,7 +129,7 @@ mod tests {
     #[test]
     fn identity_kernel_extraction() {
         // 1x1 kernel, no padding: rows are just the channel vectors.
-        let data: Vec<f32> = (0..1 * 2 * 2 * 2).map(|i| i as f32).collect();
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
         let t = Tensor4::from_vec(1, 2, 2, 2, data);
         let m = im2col(&t, 1, 1, 0);
         assert_eq!(m.shape(), (4, 2));
@@ -184,14 +181,10 @@ mod tests {
                                 for kx in 0..k {
                                     let iy = (oy * stride + ky) as isize - pad as isize;
                                     let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if iy >= 0
-                                        && (iy as usize) < h
-                                        && ix >= 0
-                                        && (ix as usize) < w
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
                                     {
                                         let xv = x.at(ni, ci, iy as usize, ix as usize);
-                                        let wv =
-                                            weight[((co * c + ci) * k + ky) * k + kx];
+                                        let wv = weight[((co * c + ci) * k + ky) * k + kx];
                                         acc += xv as f64 * wv as f64;
                                     }
                                 }
@@ -246,6 +239,9 @@ mod tests {
             .zip(aty.as_slice())
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 }

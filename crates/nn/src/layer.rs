@@ -45,19 +45,13 @@ pub trait Layer: Send {
 
     /// Output shape for a given input shape (used to assemble models and
     /// to size buffers without running data through).
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize);
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize);
 
     /// Visit every `(name, value, grad)` parameter triple. `prefix` scopes
     /// names so containers produce unique dotted paths
     /// (`"stage1.block0.conv1.weight"`).
-    fn visit_params(
-        &mut self,
-        prefix: &str,
-        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    );
+    #[allow(clippy::type_complexity)] // the visitor signature IS the API
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]));
 
     /// Enable or disable K-FAC capture on this layer and all children.
     ///

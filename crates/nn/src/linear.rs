@@ -159,18 +159,11 @@ impl Layer for Linear {
         Tensor4::from_vec(n, self.in_features, 1, 1, dx.into_vec())
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         (input.0, self.out_features, 1, 1)
     }
 
-    fn visit_params(
-        &mut self,
-        prefix: &str,
-        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
         let wname = format!("{prefix}{}.weight", self.name);
         f(&wname, &mut self.weight, &mut self.grad_weight);
         if let (Some(b), Some(gb)) = (&mut self.bias, &mut self.grad_bias) {
@@ -222,11 +215,11 @@ impl KfacEligible for Linear {
         let extra = usize::from(self.bias.is_some());
         let mut gm = Matrix::zeros(self.out_features, self.in_features + extra);
         for o in 0..self.out_features {
-            gm.row_mut(o)[..self.in_features]
-                .copy_from_slice(&self.grad_weight[o * self.in_features..(o + 1) * self.in_features]);
+            gm.row_mut(o)[..self.in_features].copy_from_slice(
+                &self.grad_weight[o * self.in_features..(o + 1) * self.in_features],
+            );
             if extra == 1 {
-                gm.row_mut(o)[self.in_features] =
-                    self.grad_bias.as_ref().expect("bias grad")[o];
+                gm.row_mut(o)[self.in_features] = self.grad_bias.as_ref().expect("bias grad")[o];
             }
         }
         gm

@@ -46,6 +46,7 @@ impl CrossEntropyLoss {
         let mut total = 0.0f64;
         let inv_n = 1.0 / n as f32;
 
+        #[allow(clippy::needless_range_loop)] // `i` indexes logits rows and targets
         for i in 0..n {
             let row = &logits.as_slice()[i * k..(i + 1) * k];
             let target = targets[i];

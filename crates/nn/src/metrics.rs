@@ -3,6 +3,7 @@
 use kfac_tensor::Tensor4;
 
 /// Count of samples whose arg-max logit equals the target (Top-1).
+#[allow(clippy::needless_range_loop)] // `i` indexes logits rows and targets
 pub fn top1_correct(logits: &Tensor4, targets: &[usize]) -> usize {
     let (n, k, h, w) = logits.shape();
     assert_eq!((h, w), (1, 1), "logits must be (N, K, 1, 1)");

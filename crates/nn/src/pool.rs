@@ -26,7 +26,10 @@ impl MaxPool2d {
 
     fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
         assert!(h >= self.k && w >= self.k, "pool window larger than input");
-        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+        (
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        )
     }
 }
 
@@ -84,21 +87,13 @@ impl Layer for MaxPool2d {
         dx
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         let (n, c, h, w) = input;
         let (oh, ow) = self.out_dims(h, w);
         (n, c, oh, ow)
     }
 
-    fn visit_params(
-        &mut self,
-        _prefix: &str,
-        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
-    }
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {}
 
     fn set_capture(&mut self, _on: bool) {}
 
@@ -156,19 +151,11 @@ impl Layer for GlobalAvgPool {
         dx
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         (input.0, input.1, 1, 1)
     }
 
-    fn visit_params(
-        &mut self,
-        _prefix: &str,
-        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
-    }
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {}
 
     fn set_capture(&mut self, _on: bool) {}
 

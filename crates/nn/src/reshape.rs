@@ -36,19 +36,11 @@ impl Layer for Flatten {
         Tensor4::from_vec(n, c, h, w, grad_output.as_slice().to_vec())
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         (input.0, input.1 * input.2 * input.3, 1, 1)
     }
 
-    fn visit_params(
-        &mut self,
-        _prefix: &str,
-        _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
-    }
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {}
 
     fn set_capture(&mut self, _on: bool) {}
 

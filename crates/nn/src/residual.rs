@@ -103,18 +103,11 @@ impl Layer for ResidualBlock {
         dx
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         self.main.output_shape(input)
     }
 
-    fn visit_params(
-        &mut self,
-        prefix: &str,
-        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
         self.main.visit_params(prefix, f);
         if let Some(s) = &mut self.shortcut {
             s.visit_params(prefix, f);

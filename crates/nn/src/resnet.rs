@@ -159,7 +159,16 @@ pub fn resnet_cifar(
 ) -> Sequential {
     assert!(n >= 1 && base_width >= 1);
     let mut layers: Vec<Box<dyn crate::layer::Layer>> = vec![
-        Box::new(Conv2d::new("stem.conv", in_channels, base_width, 3, 1, 1, false, rng)),
+        Box::new(Conv2d::new(
+            "stem.conv",
+            in_channels,
+            base_width,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        )),
         Box::new(BatchNorm2d::new("stem.bn", base_width)),
         Box::new(ReLU::new()),
     ];
@@ -194,7 +203,16 @@ pub fn resnet_bottleneck(
     rng: &mut Rng64,
 ) -> Sequential {
     let mut layers: Vec<Box<dyn crate::layer::Layer>> = vec![
-        Box::new(Conv2d::new("stem.conv", in_channels, base_width, 3, 1, 1, false, rng)),
+        Box::new(Conv2d::new(
+            "stem.conv",
+            in_channels,
+            base_width,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        )),
         Box::new(BatchNorm2d::new("stem.bn", base_width)),
         Box::new(ReLU::new()),
     ];
@@ -204,7 +222,9 @@ pub fn resnet_bottleneck(
         for bi in 0..nblocks {
             let stride = if si > 0 && bi == 0 { 2 } else { 1 };
             let prefix = format!("s{si}.b{bi}");
-            layers.push(Box::new(bottleneck_block(&prefix, c_in, c_mid, stride, rng)));
+            layers.push(Box::new(bottleneck_block(
+                &prefix, c_in, c_mid, stride, rng,
+            )));
             c_in = c_mid * 4;
         }
     }
@@ -237,7 +257,16 @@ pub fn resnet_basic(
     rng: &mut Rng64,
 ) -> Sequential {
     let mut layers: Vec<Box<dyn crate::layer::Layer>> = vec![
-        Box::new(Conv2d::new("stem.conv", in_channels, base_width, 3, 1, 1, false, rng)),
+        Box::new(Conv2d::new(
+            "stem.conv",
+            in_channels,
+            base_width,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        )),
         Box::new(BatchNorm2d::new("stem.bn", base_width)),
         Box::new(ReLU::new()),
     ];

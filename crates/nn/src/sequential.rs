@@ -59,20 +59,13 @@ impl Layer for Sequential {
         g
     }
 
-    fn output_shape(
-        &self,
-        input: (usize, usize, usize, usize),
-    ) -> (usize, usize, usize, usize) {
+    fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
         self.layers
             .iter()
             .fold(input, |shape, l| l.output_shape(shape))
     }
 
-    fn visit_params(
-        &mut self,
-        prefix: &str,
-        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
-    ) {
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut [f32], &mut [f32])) {
         for layer in &mut self.layers {
             layer.visit_params(prefix, f);
         }

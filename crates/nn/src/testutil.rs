@@ -37,10 +37,7 @@ fn projected_loss(out: &Tensor4, proj: &[f32]) -> f64 {
 /// step that straddles a kink produces a meaningless in-between slope. We
 /// evaluate at two step sizes and skip coordinates where the two estimates
 /// disagree (the standard non-smoothness guard).
-fn robust_numeric_grad(
-    eval: &mut dyn FnMut(f32) -> f64,
-    eps: f32,
-) -> Option<f32> {
+fn robust_numeric_grad(eval: &mut dyn FnMut(f32) -> f64, eps: f32) -> Option<f32> {
     let d1 = ((eval(eps) - eval(-eps)) / (2.0 * eps as f64)) as f32;
     let half = eps / 2.0;
     let d2 = ((eval(half) - eval(-half)) / (2.0 * half as f64)) as f32;

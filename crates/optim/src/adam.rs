@@ -77,7 +77,6 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::optimizer::testutil::Quadratic;
-    use kfac_nn::Layer as _;
 
     #[test]
     fn converges_on_quadratic() {
@@ -107,7 +106,8 @@ mod tests {
         let mut opt = Adam::new(0.0);
         opt.step(&mut q.model, 0.01);
         let mut w1 = Vec::new();
-        q.model.visit_params("", &mut |_, w, _| w1.extend_from_slice(w));
+        q.model
+            .visit_params("", &mut |_, w, _| w1.extend_from_slice(w));
         for ((a, b), g) in w0.iter().zip(&w1).zip(&g0) {
             if g.abs() > 1e-4 {
                 let step = (a - b).abs();
@@ -126,7 +126,8 @@ mod tests {
                 opt.step(&mut q.model, 0.02);
             }
             let mut w = Vec::new();
-            q.model.visit_params("", &mut |_, v, _| w.extend_from_slice(v));
+            q.model
+                .visit_params("", &mut |_, v, _| w.extend_from_slice(v));
             w
         };
         assert_eq!(run(), run());

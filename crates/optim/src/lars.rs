@@ -70,7 +70,6 @@ impl Optimizer for Lars {
 mod tests {
     use super::*;
     use crate::optimizer::testutil::Quadratic;
-    use kfac_nn::Layer as _;
 
     #[test]
     fn converges_on_quadratic() {
@@ -94,9 +93,8 @@ mod tests {
         use kfac_nn::{Linear, Sequential};
         use kfac_tensor::Rng64;
         let mut rng = Rng64::new(12);
-        let mut model = Sequential::from_layers(vec![Box::new(Linear::new(
-            "fc", 2, 2, false, &mut rng,
-        ))]);
+        let mut model =
+            Sequential::from_layers(vec![Box::new(Linear::new("fc", 2, 2, false, &mut rng))]);
         // Set weights: row 0 large, uniform gradient.
         model.visit_params("", &mut |_, w, g| {
             w.copy_from_slice(&[10.0, 10.0, 0.1, 0.1]);

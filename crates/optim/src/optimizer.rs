@@ -36,16 +36,9 @@ pub(crate) mod testutil {
     impl Quadratic {
         pub fn new(seed: u64) -> Self {
             let mut rng = Rng64::new(seed);
-            let model = Sequential::from_layers(vec![Box::new(Linear::new(
-                "fc", 4, 3, true, &mut rng,
-            ))]);
-            let x = Tensor4::from_vec(
-                2,
-                4,
-                1,
-                1,
-                (0..8).map(|_| rng.normal_f32()).collect(),
-            );
+            let model =
+                Sequential::from_layers(vec![Box::new(Linear::new("fc", 4, 3, true, &mut rng))]);
+            let x = Tensor4::from_vec(2, 4, 1, 1, (0..8).map(|_| rng.normal_f32()).collect());
             let target = (0..6).map(|_| rng.normal_f32()).collect();
             Quadratic { model, x, target }
         }

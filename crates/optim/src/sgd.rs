@@ -62,7 +62,11 @@ impl Optimizer for Sgd {
             for i in 0..w.len() {
                 let grad = g[i] + weight_decay * w[i];
                 v[i] = momentum * v[i] + grad;
-                let upd = if nesterov { grad + momentum * v[i] } else { v[i] };
+                let upd = if nesterov {
+                    grad + momentum * v[i]
+                } else {
+                    v[i]
+                };
                 w[i] -= lr * upd;
             }
         });
@@ -77,7 +81,6 @@ impl Optimizer for Sgd {
 mod tests {
     use super::*;
     use crate::optimizer::testutil::Quadratic;
-    use kfac_nn::Layer as _;
 
     #[test]
     fn single_step_no_momentum_is_gradient_descent() {
@@ -93,7 +96,8 @@ mod tests {
         let mut opt = Sgd::new(0.0, 0.0);
         opt.step(&mut q.model, 0.1);
         let mut w1 = Vec::new();
-        q.model.visit_params("", &mut |_, w, _| w1.extend_from_slice(w));
+        q.model
+            .visit_params("", &mut |_, w, _| w1.extend_from_slice(w));
         for ((a, b), g) in w0.iter().zip(&w1).zip(&g0) {
             assert!((b - (a - 0.1 * g)).abs() < 1e-6);
         }
@@ -133,18 +137,16 @@ mod tests {
         q.model.zero_grad();
         let norm_before: f32 = {
             let mut s = 0.0;
-            q.model.visit_params("", &mut |_, w, _| {
-                s += w.iter().map(|x| x * x).sum::<f32>()
-            });
+            q.model
+                .visit_params("", &mut |_, w, _| s += w.iter().map(|x| x * x).sum::<f32>());
             s
         };
         let mut opt = Sgd::new(0.0, 0.1);
         opt.step(&mut q.model, 0.5);
         let norm_after: f32 = {
             let mut s = 0.0;
-            q.model.visit_params("", &mut |_, w, _| {
-                s += w.iter().map(|x| x * x).sum::<f32>()
-            });
+            q.model
+                .visit_params("", &mut |_, w, _| s += w.iter().map(|x| x * x).sum::<f32>());
             s
         };
         assert!(norm_after < norm_before);
@@ -164,7 +166,8 @@ mod tests {
                 opt.step(&mut q.model, 0.01);
             }
             let mut w = Vec::new();
-            q.model.visit_params("", &mut |_, v, _| w.extend_from_slice(v));
+            q.model
+                .visit_params("", &mut |_, v, _| w.extend_from_slice(v));
             w
         };
         assert_ne!(run(true), run(false));

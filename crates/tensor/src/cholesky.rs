@@ -49,6 +49,9 @@ impl Cholesky {
     }
 
     /// Solve `A x = b` via forward + back substitution.
+    // `k` indexes both the factor and the solution vector; the textbook
+    // range form is clearer than iterator/enumerate contortions here.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f32]) -> Vec<f32> {
         let n = self.l.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
@@ -111,11 +114,7 @@ mod tests {
     use crate::rng::Rng64;
 
     fn random_spd(n: usize, damping: f32, rng: &mut Rng64) -> Matrix {
-        let x = Matrix::from_vec(
-            2 * n,
-            n,
-            (0..2 * n * n).map(|_| rng.normal_f32()).collect(),
-        );
+        let x = Matrix::from_vec(2 * n, n, (0..2 * n * n).map(|_| rng.normal_f32()).collect());
         let mut a = x.gram();
         a.scale(1.0 / (2 * n) as f32);
         a.add_diag(damping);

@@ -205,11 +205,7 @@ mod tests {
 
     fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
         // XᵀX + εI is SPD — the same construction as a damped K-FAC factor.
-        let x = Matrix::from_vec(
-            2 * n,
-            n,
-            (0..2 * n * n).map(|_| rng.normal_f32()).collect(),
-        );
+        let x = Matrix::from_vec(2 * n, n, (0..2 * n * n).map(|_| rng.normal_f32()).collect());
         let mut a = x.gram();
         a.scale(1.0 / (2 * n) as f32);
         a.add_diag(1e-3);

@@ -112,19 +112,11 @@ mod tests {
         let mut rng = Rng64::new(31);
         for n in [1, 3, 8, 25] {
             // Diagonally dominant ⇒ far from singular.
-            let mut a = Matrix::from_vec(
-                n,
-                n,
-                (0..n * n).map(|_| rng.normal_f32()).collect(),
-            );
+            let mut a = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.normal_f32()).collect());
             a.add_diag(n as f32);
             let inv = invert(&a).unwrap();
             let prod = a.matmul(&inv);
-            assert!(
-                prod.max_abs_diff(&Matrix::identity(n)) < 1e-3,
-                "n={}",
-                n
-            );
+            assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-3, "n={}", n);
         }
     }
 

@@ -41,12 +41,12 @@ pub mod tridiag;
 
 pub use cholesky::Cholesky;
 pub use eigen::{eigh, EigenDecomposition};
-pub use tridiag::eigh_tridiag;
 pub use inverse::invert;
 pub use kron::{kron, kron_matvec};
 pub use matrix::Matrix;
 pub use rng::Rng64;
 pub use tensor4::Tensor4;
+pub use tridiag::eigh_tridiag;
 
 /// Errors produced by numeric routines that can fail for data-dependent
 /// reasons (shape mismatches, by contrast, are programming errors and panic).

@@ -93,7 +93,11 @@ impl Matrix {
     /// Element-wise division `self[i,j] /= denom[i,j]` — the eigen-path
     /// rescale `V₂ = V₁ / (v_G v_Aᵀ + γ)` of Eq. 14.
     pub fn div_assign_elem(&mut self, denom: &Matrix) {
-        assert_eq!(self.shape(), denom.shape(), "shape mismatch in div_assign_elem");
+        assert_eq!(
+            self.shape(),
+            denom.shape(),
+            "shape mismatch in div_assign_elem"
+        );
         for (a, d) in self.as_mut_slice().iter_mut().zip(denom.as_slice()) {
             *a /= d;
         }
@@ -114,7 +118,11 @@ impl Matrix {
 
     /// Maximum absolute element-wise difference against `other`.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.as_slice()
             .iter()
             .zip(other.as_slice())

@@ -46,8 +46,7 @@ impl Rng64 {
     /// generator while staying reproducible.
     pub fn split(&self, stream_id: u64) -> Rng64 {
         // Mix the current state with the stream id through SplitMix64.
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(stream_id.wrapping_mul(0xD1B54A32D192ED03))
             .wrapping_add(self.s[3]);

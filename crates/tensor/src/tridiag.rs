@@ -216,11 +216,7 @@ mod tests {
     }
 
     fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
-        let x = Matrix::from_vec(
-            2 * n,
-            n,
-            (0..2 * n * n).map(|_| rng.normal_f32()).collect(),
-        );
+        let x = Matrix::from_vec(2 * n, n, (0..2 * n * n).map(|_| rng.normal_f32()).collect());
         let mut a = x.gram();
         a.scale(1.0 / (2 * n) as f32);
         a.add_diag(1e-3);
@@ -261,10 +257,7 @@ mod tests {
             let ql = eigh_tridiag(&a).unwrap();
             let jac = eigh(&a).unwrap();
             for (x, y) in ql.eigenvalues.iter().zip(&jac.eigenvalues) {
-                assert!(
-                    (x - y).abs() < 1e-4 * y.abs().max(1.0),
-                    "n={n}: {x} vs {y}"
-                );
+                assert!((x - y).abs() < 1e-4 * y.abs().max(1.0), "n={n}: {x} vs {y}");
             }
         }
     }
@@ -290,7 +283,10 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert!(eigh_tridiag(&Matrix::zeros(0, 0)).unwrap().eigenvalues.is_empty());
+        assert!(eigh_tridiag(&Matrix::zeros(0, 0))
+            .unwrap()
+            .eigenvalues
+            .is_empty());
         let one = Matrix::from_diag(&[7.0]);
         let e = eigh_tridiag(&one).unwrap();
         assert_eq!(e.eigenvalues, vec![7.0]);

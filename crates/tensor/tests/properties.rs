@@ -15,15 +15,17 @@ fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 
 /// Strategy: a random SPD matrix built as `XᵀX/k + γI`.
 fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
-    (proptest::collection::vec(-2.0f32..2.0, 2 * n * n), 0.05f32..1.0).prop_map(
-        move |(data, damp)| {
+    (
+        proptest::collection::vec(-2.0f32..2.0, 2 * n * n),
+        0.05f32..1.0,
+    )
+        .prop_map(move |(data, damp)| {
             let x = Matrix::from_vec(2 * n, n, data);
             let mut a = x.gram();
             a.scale(1.0 / (2 * n) as f32);
             a.add_diag(damp);
             a
-        },
-    )
+        })
 }
 
 proptest! {

@@ -13,8 +13,8 @@
 //! ```
 
 use kfac_suite::cluster::{
-    paper_update_freq, scaling_sweep, ClusterSpec, IterationModel, KfacRunConfig,
-    ModelProfile, TrainingBudget,
+    paper_update_freq, scaling_sweep, ClusterSpec, IterationModel, KfacRunConfig, ModelProfile,
+    TrainingBudget,
 };
 use kfac_suite::nn::arch::{resnet101, resnet152, resnet50};
 
@@ -22,7 +22,11 @@ fn main() {
     let budget = TrainingBudget::default();
 
     for arch in [resnet50(), resnet101(), resnet152()] {
-        println!("==== {} ({:.1}M params) ====", arch.name, arch.total_params() as f64 / 1e6);
+        println!(
+            "==== {} ({:.1}M params) ====",
+            arch.name,
+            arch.total_params() as f64 / 1e6
+        );
         println!(
             "{:>5} | {:>9} {:>9} {:>9} | {:>8} | per-iteration opt stages (ms)",
             "GPUs", "SGD", "K-FAC-lw", "K-FAC-opt", "opt gain"

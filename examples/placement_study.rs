@@ -17,8 +17,7 @@ use kfac_suite::nn::arch::{resnet101, resnet152, resnet50};
 
 fn main() {
     for arch in [resnet50(), resnet101(), resnet152()] {
-        let layer_dims: Vec<(usize, usize)> =
-            arch.layers.iter().map(|l| l.factor_dims()).collect();
+        let layer_dims: Vec<(usize, usize)> = arch.layers.iter().map(|l| l.factor_dims()).collect();
         let factors = factor_descs(&layer_dims);
         let total_cost: u64 = factors.iter().map(|f| f.eig_cost()).sum();
         let biggest = factors.iter().map(|f| f.dim).max().unwrap_or(0);
@@ -42,9 +41,8 @@ fn main() {
             let lpt = assign_factors(PlacementPolicy::SizeBalanced, &factors, gpus);
             let rr_loads = per_rank_cost(&factors, &rr, gpus);
             let lpt_loads = per_rank_cost(&factors, &lpt, gpus);
-            let busy_min = |loads: &[u64]| {
-                loads.iter().cloned().filter(|&l| l > 0).min().unwrap_or(0)
-            };
+            let busy_min =
+                |loads: &[u64]| loads.iter().cloned().filter(|&l| l > 0).min().unwrap_or(0);
             let rr_minmax = (busy_min(&rr_loads), *rr_loads.iter().max().unwrap());
             let lpt_minmax = (busy_min(&lpt_loads), *lpt_loads.iter().max().unwrap());
             if base_rr.is_none() {

@@ -15,7 +15,7 @@
 use kfac::{Kfac, KfacConfig};
 use kfac_collectives::LocalComm;
 use kfac_data::{batch_of, synthetic_cifar, Dataset, ShardedSampler};
-use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
+use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer};
 use kfac_optim::{LrSchedule, Optimizer, Sgd};
 use kfac_suite::harness::trainer::allreduce_gradients;
 use kfac_tensor::Rng64;

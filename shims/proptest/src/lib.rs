@@ -1,0 +1,503 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `proptest` to this crate. It implements the subset the
+//! kfac-rs property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: numeric ranges (`0.0f32..1.0`, `0usize..4`, …),
+//!   [`any`]`::<T>()`, tuples up to arity 4,
+//!   [`collection::vec`], and [`Strategy::prop_map`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the generated inputs' `Debug` rendering and the case's replay
+//! seed. Generation is fully deterministic — the RNG is seeded from the
+//! test's name — so failures reproduce run-to-run and across machines.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A failed property — returned by the `prop_assert*` macros and
+/// converted into a panic (with the offending inputs) by the runner.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Record a property failure with a rendered message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// Runner configuration; only the knobs the tests use.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the RNG (the runner derives the seed from the test name).
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift rejection-free mapping (bias < 2^-64, irrelevant
+        // for test-case generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. The name mirrors proptest's trait so call sites
+/// like `impl Strategy<Value = Matrix>` compile unchanged.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> R,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R;
+    fn generate(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Values generatable by [`any`].
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite, roughly centred values — proptest's any::<f32>() includes
+        // infinities/NaN, but the tests here only use integer/bool `any`.
+        (rng.unit_f64() as f32 - 0.5) * 2e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy for an unconstrained value of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// `any::<T>()` — generate any value of `T` (the proptest entry point).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification: a fixed size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values from `element` with the given length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Derive the deterministic base seed for a named property test.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Skip the current case when its precondition does not hold. Real
+/// proptest rejects and regenerates; this shim simply treats the case
+/// as vacuously passing, which is equivalent for deterministic seeds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failures report the
+/// generated inputs instead of unwinding as a bare panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a rendered left/right diff.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with a rendered value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Declare property tests. Supports the forms the kfac-rs tests use:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(-1.0f32..1.0, 4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base_seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                $(let $arg = $strat;)*
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::new(base_seed ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)*
+                    let mut debug_rendering = ::std::string::String::new();
+                    $(
+                        debug_rendering.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), $arg
+                        ));
+                    )*
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            case + 1,
+                            config.cases,
+                            e.message(),
+                            debug_rendering
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Range strategies stay in range.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.5f32..2.5, z in 0u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y), "y out of range: {}", y);
+            prop_assert!(z < 5);
+        }
+
+        /// collection::vec produces the requested length; prop_map applies.
+        #[test]
+        fn vec_and_map(
+            v in crate::collection::vec(0.0f64..1.0, 12),
+            s in (0usize..4, 1usize..5).prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert_eq!(v.len(), 12);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!((1..9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0.0f32..1.0, 8);
+        let mut a = crate::TestRng::new(42);
+        let mut b = crate::TestRng::new(42);
+        assert_eq!(
+            crate::Strategy::generate(&strat, &mut a),
+            crate::Strategy::generate(&strat, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

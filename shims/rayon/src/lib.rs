@@ -1,0 +1,256 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `rayon` to this crate (see the root `Cargo.toml`). It provides
+//! exactly the data-parallel subset the kfac-rs kernels use —
+//! `par_chunks_mut`, `into_par_iter` over ranges, `map`/`for_each`/
+//! `collect`, and [`current_num_threads`] — executed on scoped OS threads
+//! with work split into contiguous per-thread chunks.
+//!
+//! Semantics match rayon where it matters for the kernels: items are
+//! processed exactly once, `collect` preserves input order, and closures
+//! only need `Sync` (they are shared by reference across workers). Unlike
+//! rayon there is no persistent thread pool; each parallel call spawns
+//! scoped threads, so very fine-grained calls pay thread-spawn latency.
+//! The kernels already gate parallelism behind size thresholds, which
+//! keeps that cost off the hot path.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call will use — the machine's
+/// available parallelism (rayon reports its pool size here).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items`, splitting them into one contiguous chunk per
+/// worker thread. Returns outputs in input order.
+fn execute<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly materialized parallel iterator: adapters reshape the item
+/// list; the terminal `for_each`/`collect` runs across threads.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pair each item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Keep every `step`-th item, like `Iterator::step_by`.
+    pub fn step_by(self, step: usize) -> ParIter<I> {
+        ParIter {
+            items: self.items.into_iter().step_by(step.max(1)).collect(),
+        }
+    }
+
+    /// Lazily map items; the closure runs on the worker threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every item across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        execute(self.items, &|item| f(item));
+    }
+
+    /// Collect the items (no-op parallelism; order preserved).
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Result of [`ParIter::map`]; terminal ops run the closure in parallel.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, F> ParMap<I, F> {
+    /// Run the map across worker threads and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        execute(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Apply the mapped closure to every item for its side effects.
+    pub fn for_each<R>(self)
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        execute(self.items, &self.f);
+    }
+}
+
+/// Conversion into a [`ParIter`] — implemented for the types the kernels
+/// iterate in parallel (index ranges and vectors).
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel counterpart of `slice::chunks`.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(size.max(1)).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices: disjoint chunks, so each worker
+/// owns its chunk exclusively.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel counterpart of `slice::chunks_mut`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size.max(1)).collect(),
+        }
+    }
+}
+
+/// The glob-import surface (`use rayon::prelude::*`), mirroring rayon's.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 1000];
+        data.as_mut_slice()
+            .par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + i as u32;
+                }
+            });
+        // Every element written exactly once, with its chunk index.
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (j / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn step_by_matches_sequential() {
+        let out: Vec<usize> = (0..20usize).into_par_iter().step_by(6).collect();
+        assert_eq!(out, vec![0, 6, 12, 18]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        Vec::<u32>::new()
+            .as_mut_slice()
+            .par_chunks_mut(4)
+            .for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -37,7 +37,8 @@ fn distributed_kfac_training_learns() {
     });
     let result = train(build, &train_ds, &val_ds, &cfg);
     assert!(
-        result.best_val_acc > 0.3,        "2-rank K-FAC should beat 3× chance on 10 classes: {}",
+        result.best_val_acc > 0.3,
+        "2-rank K-FAC should beat 3× chance on 10 classes: {}",
         result.best_val_acc
     );
     // All three K-FAC traffic classes flowed.

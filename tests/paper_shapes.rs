@@ -3,8 +3,8 @@
 //! tables → profiles → calibrated projections → placement analysis).
 
 use kfac_suite::cluster::{
-    paper_update_freq, scaling_sweep, time_to_solution, ClusterSpec, IterationModel,
-    KfacRunConfig, ModelProfile, TrainingBudget,
+    paper_update_freq, scaling_sweep, time_to_solution, ClusterSpec, IterationModel, KfacRunConfig,
+    ModelProfile, TrainingBudget,
 };
 use kfac_suite::kfac::PlacementPolicy;
 use kfac_suite::nn::arch::{resnet101, resnet152, resnet50};
@@ -54,9 +54,7 @@ fn table_v_factor_stage_is_not_distributable() {
     // Factor computation time must be identical at 16 and 256 GPUs while
     // the eig stage must shrink (sublinearly).
     let profile = ModelProfile::from_arch(&resnet101());
-    let at = |gpus| {
-        IterationModel::new(profile.clone(), ClusterSpec::frontera(gpus), 32)
-    };
+    let at = |gpus| IterationModel::new(profile.clone(), ClusterSpec::frontera(gpus), 32);
     let (fc16, _) = at(16).factor_stage_s();
     let (fc256, _) = at(256).factor_stage_s();
     assert_eq!(fc16, fc256);
@@ -103,8 +101,7 @@ fn update_interval_schedule_keeps_updates_per_epoch_constant() {
         assert_eq!(paper_update_freq(gpus) * gpus, base);
         let iters = b.dataset / (gpus * b.local_batch);
         let updates_per_epoch = iters as f64 / paper_update_freq(gpus) as f64;
-        let base_updates =
-            (b.dataset / (16 * b.local_batch)) as f64 / paper_update_freq(16) as f64;
+        let base_updates = (b.dataset / (16 * b.local_batch)) as f64 / paper_update_freq(16) as f64;
         assert!((updates_per_epoch - base_updates).abs() / base_updates < 0.05);
     }
 }
@@ -112,13 +109,9 @@ fn update_interval_schedule_keeps_updates_per_epoch_constant() {
 #[test]
 fn fig10_superlinear_factor_growth() {
     let at = |arch: &kfac_suite::nn::arch::ModelArch| {
-        IterationModel::new(
-            ModelProfile::from_arch(arch),
-            ClusterSpec::frontera(16),
-            32,
-        )
-        .factor_stage_s()
-        .0
+        IterationModel::new(ModelProfile::from_arch(arch), ClusterSpec::frontera(16), 32)
+            .factor_stage_s()
+            .0
     };
     let (t50, t101, t152) = (at(&resnet50()), at(&resnet101()), at(&resnet152()));
     let p50 = resnet50().total_params() as f64;
