@@ -37,4 +37,4 @@ pub use scaling::{
     crossover_scale, efficiency, paper_update_freq, scaling_sweep, time_to_solution, ScalingPoint,
     TrainingBudget,
 };
-pub use trace::emit_kfac_opt_trace;
+pub use trace::{emit_kfac_opt_overlap_trace, emit_kfac_opt_trace};

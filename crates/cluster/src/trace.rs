@@ -19,6 +19,8 @@ struct RankCursor {
     now_us: u64,
     /// Next sequence number (orders ties in the exporter).
     seq: u64,
+    /// Worker lane tag stamped on every emitted span (`None` = main).
+    lane: Option<&'static str>,
     /// Events buffered for this rank.
     events: Vec<SpanEvent>,
 }
@@ -28,7 +30,15 @@ impl RankCursor {
         RankCursor {
             now_us: rank_origin_us,
             seq: 0,
+            lane: None,
             events: Vec::new(),
+        }
+    }
+
+    fn new_lane(rank_origin_us: u64, lane: &'static str) -> Self {
+        RankCursor {
+            lane: Some(lane),
+            ..RankCursor::new(rank_origin_us)
         }
     }
 
@@ -44,6 +54,7 @@ impl RankCursor {
         self.events.push(SpanEvent {
             name,
             rank,
+            lane: self.lane,
             depth,
             seq: self.seq,
             start_us: self.now_us,
@@ -165,6 +176,7 @@ pub fn emit_kfac_opt_trace(
             rc.events.push(SpanEvent {
                 name: "sim/iteration",
                 rank,
+                lane: rc.lane,
                 depth: 0,
                 seq,
                 start_us: start,
@@ -181,6 +193,198 @@ pub fn emit_kfac_opt_trace(
 
     let wall_us = ranks.iter().map(|r| r.now_us).max().unwrap_or(0);
     for rc in ranks {
+        for ev in rc.events {
+            registry.record_raw(ev);
+        }
+    }
+    wall_us as f64 / 1e6
+}
+
+/// Emit the overlapped (task-graph) variant of the K-FAC-opt timeline
+/// into `registry`: each rank gets a compute lane plus a `comm` lane,
+/// backward is split into `buckets` chunks whose gradient allreduces
+/// start as soon as the chunk finishes, factor computation overlaps the
+/// gradient traffic, and factor allreduces overlap preconditioning on
+/// non-eigendecomposition iterations — the schedule the `kfac-exec`
+/// runtime realises on real hardware. Returns the simulated wall time
+/// in seconds (the slowest lane's finish).
+pub fn emit_kfac_opt_overlap_trace(
+    registry: &Registry,
+    model: &IterationModel,
+    cfg: KfacRunConfig,
+    iterations: usize,
+    buckets: usize,
+) -> f64 {
+    let world = model.cluster.gpus;
+    let buckets = buckets.max(1);
+    let times = model.kfac_opt_iteration(cfg);
+    let (factor_comp_s, factor_comm_s) = model.factor_stage_s();
+    let (_, eig_comm_s) = model.eig_stage_s(cfg.placement);
+    let eig_workers = model.eig_worker_times_s(cfg.placement);
+
+    let mut comp: Vec<RankCursor> = (0..world).map(|_| RankCursor::new(0)).collect();
+    let mut comm: Vec<RankCursor> = (0..world)
+        .map(|_| RankCursor::new_lane(0, "comm"))
+        .collect();
+
+    // A collective on the comm lanes: every rank's comm worker picks the
+    // op up once its own lane is free AND the rank's input is ready; the
+    // collective itself starts when the last rank arrives.
+    let sync_comm = |comm: &mut Vec<RankCursor>,
+                     ready: &[u64],
+                     name: &'static str,
+                     dur_us: u64,
+                     bytes: u64,
+                     class: &'static str,
+                     bucket: Option<u64>| {
+        let barrier = comm
+            .iter()
+            .zip(ready)
+            .map(|(c, &r)| c.now_us.max(r))
+            .max()
+            .unwrap_or(0);
+        for (rank, cc) in comm.iter_mut().enumerate() {
+            cc.now_us = barrier;
+            let mut attrs = vec![("bytes", bytes.into()), ("class", class.into())];
+            if let Some(b) = bucket {
+                attrs.push(("bucket", b.into()));
+            }
+            cc.emit(name, rank, 0, dur_us, attrs);
+        }
+    };
+
+    for iter in 0..iterations {
+        let iter_starts: Vec<u64> = comp.iter().map(|r| r.now_us).collect();
+        let factor_iter = iter % cfg.factor_interval() == 0;
+        let eig_iter = iter % cfg.update_freq == 0;
+
+        for (rank, rc) in comp.iter_mut().enumerate() {
+            rc.emit("sim/forward", rank, 1, us(times.fwd), Vec::new());
+        }
+
+        // Backward in bucket-sized chunks; each chunk's gradient bucket
+        // goes out on the comm lane while later chunks keep computing.
+        let chunk_us = us(times.bwd / buckets as f64);
+        let grad_chunk_us = us(times.grad_comm / buckets as f64);
+        let grad_chunk_bytes = model.profile.grad_bytes() / buckets as u64;
+        let mut grad_done = vec![0u64; world];
+        for c in 0..buckets {
+            let mut ready = vec![0u64; world];
+            for (rank, rc) in comp.iter_mut().enumerate() {
+                rc.emit(
+                    "sim/backward",
+                    rank,
+                    1,
+                    chunk_us,
+                    vec![("bucket", (c as u64).into())],
+                );
+                ready[rank] = rc.now_us;
+            }
+            sync_comm(
+                &mut comm,
+                &ready,
+                "sim/grad_allreduce",
+                grad_chunk_us,
+                grad_chunk_bytes,
+                "gradient",
+                Some(c as u64),
+            );
+            for (rank, cc) in comm.iter().enumerate() {
+                grad_done[rank] = cc.now_us;
+            }
+        }
+
+        // Factor work overlaps the gradient traffic still in flight.
+        let mut factor_done = vec![0u64; world];
+        if factor_iter {
+            let mut ready = vec![0u64; world];
+            for (rank, rc) in comp.iter_mut().enumerate() {
+                rc.emit("sim/factor_comp", rank, 1, us(factor_comp_s), Vec::new());
+                ready[rank] = rc.now_us;
+            }
+            sync_comm(
+                &mut comm,
+                &ready,
+                "sim/factor_comm",
+                us(factor_comm_s),
+                model.profile.factor_bytes(),
+                "factor",
+                None,
+            );
+            for (rank, cc) in comm.iter().enumerate() {
+                factor_done[rank] = cc.now_us;
+            }
+        }
+
+        // Eigendecomposition needs the averaged factors, so it waits for
+        // the factor allreduce; its allgather then rides the comm lane.
+        let mut eig_done = vec![0u64; world];
+        if eig_iter {
+            let mut ready = vec![0u64; world];
+            for (rank, rc) in comp.iter_mut().enumerate() {
+                if factor_iter {
+                    rc.now_us = rc.now_us.max(factor_done[rank]);
+                }
+                rc.emit(
+                    "sim/eig_comp",
+                    rank,
+                    1,
+                    us(eig_workers[rank]),
+                    vec![("factors", 0u64.into())],
+                );
+                ready[rank] = rc.now_us;
+            }
+            sync_comm(
+                &mut comm,
+                &ready,
+                "sim/eig_comm",
+                us(eig_comm_s),
+                model.profile.eig_bytes(),
+                "eigen",
+                None,
+            );
+            for (rank, cc) in comm.iter().enumerate() {
+                eig_done[rank] = cc.now_us;
+            }
+        }
+
+        // Preconditioning needs the gradients (and fresh eigenbases on
+        // eig iterations) but NOT the factor allreduce, which may still
+        // be in flight on factor-only iterations.
+        for (rank, rc) in comp.iter_mut().enumerate() {
+            rc.now_us = rc.now_us.max(grad_done[rank]).max(eig_done[rank]);
+            rc.emit("sim/precond", rank, 1, us(times.precond), Vec::new());
+            rc.emit("sim/opt_step", rank, 1, us(times.framework), Vec::new());
+        }
+
+        for (rank, rc) in comp.iter_mut().enumerate() {
+            let start = iter_starts[rank];
+            let seq = rc.seq;
+            rc.events.push(SpanEvent {
+                name: "sim/iteration",
+                rank,
+                lane: rc.lane,
+                depth: 0,
+                seq,
+                start_us: start,
+                dur_us: rc.now_us.saturating_sub(start),
+                attrs: vec![
+                    ("iter", (iter as u64).into()),
+                    ("factor_update", u64::from(factor_iter).into()),
+                    ("eig_update", u64::from(eig_iter).into()),
+                ],
+            });
+            rc.seq += 1;
+        }
+    }
+
+    let wall_us = comp
+        .iter()
+        .chain(comm.iter())
+        .map(|r| r.now_us)
+        .max()
+        .unwrap_or(0);
+    for rc in comp.into_iter().chain(comm) {
         for ev in rc.events {
             registry.record_raw(ev);
         }
@@ -262,6 +466,85 @@ mod tests {
             .collect();
         let (min, max) = (durs.iter().min().unwrap(), durs.iter().max().unwrap());
         assert!(max > min, "Table VI imbalance must show up in the trace");
+    }
+
+    #[test]
+    fn overlap_trace_beats_sequential_wall_time() {
+        let model = model_at(8);
+        let cfg = KfacRunConfig::with_freq(4);
+        let seq_registry = Registry::new();
+        let seq_wall = emit_kfac_opt_trace(&seq_registry, &model, cfg, 6);
+        let ovl_registry = Registry::new();
+        let ovl_wall = emit_kfac_opt_overlap_trace(&ovl_registry, &model, cfg, 6, 4);
+        assert!(
+            ovl_wall < seq_wall,
+            "overlap must hide communication: {ovl_wall} >= {seq_wall}"
+        );
+    }
+
+    #[test]
+    fn overlap_trace_comm_rides_its_own_lane_and_overlaps_backward() {
+        let registry = Registry::new();
+        let model = model_at(8);
+        emit_kfac_opt_overlap_trace(&registry, &model, KfacRunConfig::with_freq(4), 2, 4);
+        let events = registry.events();
+        let comm: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "sim/grad_allreduce")
+            .collect();
+        assert!(!comm.is_empty());
+        assert!(comm.iter().all(|e| e.lane == Some("comm")));
+        // At least one gradient allreduce overlaps a later backward chunk
+        // of the same rank — the whole point of the bucketed schedule.
+        let overlapped = comm.iter().any(|c| {
+            events.iter().any(|b| {
+                b.name == "sim/backward"
+                    && b.rank == c.rank
+                    && b.lane.is_none()
+                    && b.start_us < c.end_us()
+                    && c.start_us < b.end_us()
+            })
+        });
+        assert!(overlapped, "no grad allreduce overlapped backward");
+    }
+
+    #[test]
+    fn overlap_trace_respects_dependencies() {
+        let registry = Registry::new();
+        let model = model_at(4);
+        emit_kfac_opt_overlap_trace(&registry, &model, KfacRunConfig::with_freq(1), 1, 4);
+        let events = registry.events();
+        for rank in 0..4 {
+            // Every grad bucket's allreduce starts at or after the same
+            // bucket's backward chunk ends on that rank.
+            for c in events
+                .iter()
+                .filter(|e| e.name == "sim/grad_allreduce" && e.rank == rank)
+            {
+                let bucket = c.attr("bucket").cloned();
+                let bwd = events
+                    .iter()
+                    .find(|b| {
+                        b.name == "sim/backward"
+                            && b.rank == rank
+                            && b.attr("bucket").cloned() == bucket
+                    })
+                    .expect("matching backward chunk");
+                assert!(bwd.end_us() <= c.start_us);
+            }
+            // Preconditioning waits for the last gradient bucket.
+            let last_grad = events
+                .iter()
+                .filter(|e| e.name == "sim/grad_allreduce" && e.rank == rank)
+                .map(|e| e.end_us())
+                .max()
+                .unwrap();
+            let precond = events
+                .iter()
+                .find(|e| e.name == "sim/precond" && e.rank == rank)
+                .unwrap();
+            assert!(last_grad <= precond.start_us);
+        }
     }
 
     #[test]

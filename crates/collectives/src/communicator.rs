@@ -24,7 +24,11 @@ pub enum ReduceOp {
 ///
 /// One `Communicator` value belongs to exactly one rank; collectives block
 /// until every rank in the group has made the matching call.
-pub trait Communicator: Send {
+///
+/// `Sync` is required so a rank's handle can be shared with that rank's
+/// execution-engine workers (the dedicated comm worker issues collectives
+/// from its own thread); collectives already take `&self`.
+pub trait Communicator: Send + Sync {
     /// This worker's rank in `0..size()`.
     fn rank(&self) -> usize;
 

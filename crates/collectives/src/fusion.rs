@@ -51,7 +51,7 @@ impl FusionBuffer {
     /// same order with the same sizes, so automatic flushes fire at the
     /// same point on every rank.
     pub fn push(&mut self, id: usize, data: Vec<f32>, comm: &dyn Communicator) {
-        self.pending_bytes += data.len() * 4;
+        self.pending_bytes += data.len() * std::mem::size_of::<f32>();
         self.pending.push(Pending { id, data });
         if self.pending_bytes >= self.threshold_bytes {
             self.flush(comm);

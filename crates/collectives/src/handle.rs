@@ -14,14 +14,50 @@
 
 use crate::communicator::{Communicator, ReduceOp};
 use crate::traffic::TrafficClass;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 /// Identifies a queued operation; redeem at [`OpQueue::take`] after
-/// [`OpQueue::synchronize`].
+/// [`OpQueue::synchronize`] (or poll with [`OpQueue::test`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OpHandle(u64);
+pub struct OpHandle(pub(crate) u64);
 
-enum QueuedOp {
+/// Misuse of op handles or results, surfaced as a value instead of a
+/// panic so schedulers can recover (or at least report) cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// An [`OpResult`] was unwrapped as the wrong kind.
+    WrongKind {
+        /// The kind the caller asked for (`"allreduce"`/`"allgather"`).
+        expected: &'static str,
+        /// The kind the result actually holds.
+        got: &'static str,
+    },
+    /// The handle was never issued here, or its result was already taken.
+    UnknownHandle(OpHandle),
+    /// The handle's op is still queued; it has not executed yet.
+    NotCompleted(OpHandle),
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::WrongKind { expected, got } => {
+                write!(f, "expected {expected} result, got {got}")
+            }
+            CollectiveError::UnknownHandle(h) => {
+                write!(f, "handle {h:?} unknown or already taken")
+            }
+            CollectiveError::NotCompleted(h) => {
+                write!(f, "handle {h:?} not completed; synchronize or poll first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+pub(crate) enum QueuedOp {
     AllReduce {
         data: Vec<f32>,
         op: ReduceOp,
@@ -31,6 +67,25 @@ enum QueuedOp {
         data: Vec<f32>,
         class: TrafficClass,
     },
+}
+
+impl QueuedOp {
+    /// Run the collective against `comm`, consuming the staged payload.
+    pub(crate) fn execute(self, comm: &dyn Communicator) -> OpResult {
+        match self {
+            QueuedOp::AllReduce {
+                mut data,
+                op,
+                class,
+            } => {
+                comm.allreduce_tagged(&mut data, op, class);
+                OpResult::Reduced(data)
+            }
+            QueuedOp::AllGather { data, class } => {
+                OpResult::Gathered(comm.allgather_tagged(&data, class))
+            }
+        }
+    }
 }
 
 /// Result of a completed operation.
@@ -43,19 +98,32 @@ pub enum OpResult {
 }
 
 impl OpResult {
-    /// Unwrap an allreduce result.
-    pub fn into_reduced(self) -> Vec<f32> {
+    fn kind(&self) -> &'static str {
         match self {
-            OpResult::Reduced(v) => v,
-            OpResult::Gathered(_) => panic!("expected allreduce result, got allgather"),
+            OpResult::Reduced(_) => "allreduce",
+            OpResult::Gathered(_) => "allgather",
+        }
+    }
+
+    /// Unwrap an allreduce result.
+    pub fn into_reduced(self) -> Result<Vec<f32>, CollectiveError> {
+        match self {
+            OpResult::Reduced(v) => Ok(v),
+            other => Err(CollectiveError::WrongKind {
+                expected: "allreduce",
+                got: other.kind(),
+            }),
         }
     }
 
     /// Unwrap an allgather result.
-    pub fn into_gathered(self) -> Vec<Vec<f32>> {
+    pub fn into_gathered(self) -> Result<Vec<Vec<f32>>, CollectiveError> {
         match self {
-            OpResult::Gathered(v) => v,
-            OpResult::Reduced(_) => panic!("expected allgather result, got allreduce"),
+            OpResult::Gathered(v) => Ok(v),
+            other => Err(CollectiveError::WrongKind {
+                expected: "allgather",
+                got: other.kind(),
+            }),
         }
     }
 }
@@ -64,7 +132,7 @@ impl OpResult {
 #[derive(Default)]
 pub struct OpQueue {
     next: u64,
-    queued: Vec<(OpHandle, QueuedOp)>,
+    queued: VecDeque<(OpHandle, QueuedOp)>,
     completed: HashMap<OpHandle, OpResult>,
 }
 
@@ -84,7 +152,7 @@ impl OpQueue {
         let h = OpHandle(self.next);
         self.next += 1;
         self.queued
-            .push((h, QueuedOp::AllReduce { data, op, class }));
+            .push_back((h, QueuedOp::AllReduce { data, op, class }));
         h
     }
 
@@ -92,7 +160,8 @@ impl OpQueue {
     pub fn enqueue_allgather(&mut self, data: Vec<f32>, class: TrafficClass) -> OpHandle {
         let h = OpHandle(self.next);
         self.next += 1;
-        self.queued.push((h, QueuedOp::AllGather { data, class }));
+        self.queued
+            .push_back((h, QueuedOp::AllGather { data, class }));
         h
     }
 
@@ -101,37 +170,44 @@ impl OpQueue {
         self.queued.len()
     }
 
+    /// Poll a handle: `true` once its op has executed and the result is
+    /// ready to [`OpQueue::take`] (MPI `Test` semantics, minus the wait).
+    pub fn test(&self, h: OpHandle) -> bool {
+        self.completed.contains_key(&h)
+    }
+
+    /// Execute the oldest queued op against `comm`, if any; returns its
+    /// handle. The incremental counterpart of [`OpQueue::synchronize`],
+    /// for callers (the exec comm worker) that interleave progress with
+    /// other work instead of draining in one blocking batch.
+    pub fn progress_one(&mut self, comm: &dyn Communicator) -> Option<OpHandle> {
+        let (h, op) = self.queued.pop_front()?;
+        self.completed.insert(h, op.execute(comm));
+        Some(h)
+    }
+
     /// Execute every queued op, in order, against `comm`.
     ///
     /// All ranks must have queued the same op sequence (the Horovod
     /// contract); the underlying communicator enforces this.
     pub fn synchronize(&mut self, comm: &dyn Communicator) {
-        for (h, op) in self.queued.drain(..) {
-            let result = match op {
-                QueuedOp::AllReduce {
-                    mut data,
-                    op,
-                    class,
-                } => {
-                    comm.allreduce_tagged(&mut data, op, class);
-                    OpResult::Reduced(data)
-                }
-                QueuedOp::AllGather { data, class } => {
-                    OpResult::Gathered(comm.allgather_tagged(&data, class))
-                }
-            };
-            self.completed.insert(h, result);
-        }
+        while self.progress_one(comm).is_some() {}
     }
 
     /// Redeem a completed handle.
     ///
-    /// # Panics
-    /// Panics if the handle was never queued or `synchronize` has not run.
-    pub fn take(&mut self, h: OpHandle) -> OpResult {
-        self.completed
-            .remove(&h)
-            .expect("handle not completed; call synchronize() first")
+    /// Returns [`CollectiveError::NotCompleted`] while the op is still
+    /// queued, and [`CollectiveError::UnknownHandle`] for handles never
+    /// issued here or already redeemed.
+    pub fn take(&mut self, h: OpHandle) -> Result<OpResult, CollectiveError> {
+        if let Some(r) = self.completed.remove(&h) {
+            return Ok(r);
+        }
+        if self.queued.iter().any(|(q, _)| *q == h) {
+            Err(CollectiveError::NotCompleted(h))
+        } else {
+            Err(CollectiveError::UnknownHandle(h))
+        }
     }
 }
 
@@ -149,17 +225,45 @@ mod tests {
         let h = q.enqueue_allreduce(vec![1.0, 2.0], ReduceOp::Sum, TrafficClass::Gradient);
         assert_eq!(q.pending(), 1);
         assert_eq!(comm.traffic().ops, 0, "no communication before synchronize");
+        assert!(!q.test(h));
         q.synchronize(&comm);
         assert_eq!(comm.traffic().ops, 1);
-        assert_eq!(q.take(h).into_reduced(), vec![1.0, 2.0]);
+        assert!(q.test(h));
+        assert_eq!(q.take(h).unwrap().into_reduced().unwrap(), vec![1.0, 2.0]);
     }
 
     #[test]
-    #[should_panic(expected = "handle not completed")]
-    fn take_before_synchronize_panics() {
+    fn take_before_synchronize_is_not_completed() {
         let mut q = OpQueue::new();
         let h = q.enqueue_allreduce(vec![1.0], ReduceOp::Sum, TrafficClass::Gradient);
-        let _ = q.take(h);
+        assert_eq!(q.take(h), Err(CollectiveError::NotCompleted(h)));
+        // Still queued: the failed take must not have consumed the op.
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn take_unknown_or_twice_is_an_error() {
+        let comm = LocalComm::new();
+        let mut q = OpQueue::new();
+        let h = q.enqueue_allreduce(vec![1.0], ReduceOp::Sum, TrafficClass::Gradient);
+        q.synchronize(&comm);
+        assert!(q.take(h).is_ok());
+        assert_eq!(q.take(h), Err(CollectiveError::UnknownHandle(h)));
+        let bogus = OpHandle(999);
+        assert_eq!(q.take(bogus), Err(CollectiveError::UnknownHandle(bogus)));
+    }
+
+    #[test]
+    fn progress_one_completes_in_fifo_order() {
+        let comm = LocalComm::new();
+        let mut q = OpQueue::new();
+        let h1 = q.enqueue_allreduce(vec![1.0], ReduceOp::Sum, TrafficClass::Gradient);
+        let h2 = q.enqueue_allgather(vec![2.0], TrafficClass::Eigen);
+        assert_eq!(q.progress_one(&comm), Some(h1));
+        assert!(q.test(h1) && !q.test(h2));
+        assert_eq!(q.progress_one(&comm), Some(h2));
+        assert_eq!(q.progress_one(&comm), None);
+        assert!(q.test(h2));
     }
 
     #[test]
@@ -170,7 +274,10 @@ mod tests {
             let h1 = q.enqueue_allreduce(vec![rank as f32], ReduceOp::Sum, TrafficClass::Gradient);
             let h2 = q.enqueue_allgather(vec![rank as f32 * 2.0], TrafficClass::Eigen);
             q.synchronize(comm);
-            (q.take(h1).into_reduced(), q.take(h2).into_gathered())
+            (
+                q.take(h1).unwrap().into_reduced().unwrap(),
+                q.take(h2).unwrap().into_gathered().unwrap(),
+            )
         };
         let results: Vec<_> = thread::scope(|s| {
             let hs: Vec<_> = comms
@@ -187,13 +294,18 @@ mod tests {
     }
 
     #[test]
-    fn result_kind_mismatch_panics() {
+    fn result_kind_mismatch_is_typed_error() {
         let comm = LocalComm::new();
         let mut q = OpQueue::new();
         let h = q.enqueue_allgather(vec![1.0], TrafficClass::Eigen);
         q.synchronize(&comm);
-        let r = q.take(h);
-        let panicked = std::panic::catch_unwind(move || r.into_reduced());
-        assert!(panicked.is_err());
+        let r = q.take(h).unwrap();
+        assert_eq!(
+            r.into_reduced(),
+            Err(CollectiveError::WrongKind {
+                expected: "allreduce",
+                got: "allgather",
+            })
+        );
     }
 }

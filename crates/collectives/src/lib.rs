@@ -22,7 +22,11 @@
 //!   threshold is reached.
 //! * [`handle`] — deferred-completion handles mirroring Horovod's
 //!   asynchronous op registration (§V-A): ops are enqueued during the
-//!   backward pass and completed at `synchronize()`.
+//!   backward pass and completed at `synchronize()`, polled with
+//!   `test()`, or driven incrementally with `progress_one()`.
+//! * [`progress`] — the background progress engine: submit from any
+//!   thread, poll/wait on handles, one dedicated thread per rank drives
+//!   the actual collectives (Horovod's progress-thread architecture).
 //! * [`cost`] — the α/β analytic cost model for ring allreduce /
 //!   allgather / tree broadcast (Patarasuk & Yuan, the paper's [35]),
 //!   consumed by the `kfac-cluster` scaling simulator.
@@ -34,12 +38,15 @@ pub mod cost;
 pub mod fusion;
 pub mod handle;
 pub mod local;
+pub mod progress;
 pub mod thread;
 pub mod traffic;
 
 pub use communicator::{Communicator, ReduceOp};
 pub use cost::LinkSpec;
 pub use fusion::FusionBuffer;
+pub use handle::{CollectiveError, OpHandle, OpQueue, OpResult};
 pub use local::LocalComm;
+pub use progress::ProgressEngine;
 pub use thread::ThreadComm;
 pub use traffic::{Traffic, TrafficClass};

@@ -1,0 +1,240 @@
+//! Background progress engine: MPI `Isend`/`Test`/`Wait`-style semantics
+//! over the deferred-op machinery.
+//!
+//! [`OpQueue`](crate::handle::OpQueue) defers collectives but still
+//! completes them in one blocking `synchronize` batch on the caller's
+//! thread. Horovod instead runs a *background progress thread* that pops
+//! registered ops off a shared queue and drives the network while
+//! compute continues (§II-D). [`ProgressEngine`] reproduces that split:
+//! any thread submits ops and polls/waits on handles; one dedicated
+//! thread per rank calls [`ProgressEngine::drive`] with the rank's
+//! communicator and executes ops in strict submission order — which is
+//! what keeps the cross-rank collective sequences aligned (the MPI
+//! ordering contract) even though submitters race.
+
+use crate::communicator::{Communicator, ReduceOp};
+use crate::handle::{CollectiveError, OpHandle, OpResult, QueuedOp};
+use crate::traffic::TrafficClass;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+struct EngineState {
+    next: u64,
+    queued: VecDeque<(OpHandle, QueuedOp)>,
+    /// The op the driver popped and is currently executing, if any;
+    /// lets waiters distinguish "in flight" from "never issued / taken".
+    in_flight: Option<OpHandle>,
+    completed: HashMap<OpHandle, OpResult>,
+    shutdown: bool,
+}
+
+struct EngineShared {
+    state: Mutex<EngineState>,
+    /// Signals the driver (new op / shutdown) and waiters (op done).
+    cv: Condvar,
+}
+
+/// Clonable handle to a rank's background progress engine.
+///
+/// Submission returns immediately with an [`OpHandle`]; completion is
+/// observed with [`ProgressEngine::test`] (non-blocking poll) or
+/// [`ProgressEngine::wait`] (block until done). A dedicated thread runs
+/// [`ProgressEngine::drive`], which owns all actual communication.
+#[derive(Clone)]
+pub struct ProgressEngine {
+    shared: Arc<EngineShared>,
+}
+
+impl Default for ProgressEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgressEngine {
+    /// New engine with nothing queued.
+    pub fn new() -> Self {
+        ProgressEngine {
+            shared: Arc::new(EngineShared {
+                state: Mutex::new(EngineState {
+                    next: 0,
+                    queued: VecDeque::new(),
+                    in_flight: None,
+                    completed: HashMap::new(),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    fn submit(&self, op: QueuedOp) -> OpHandle {
+        let mut st = self.shared.state.lock();
+        let h = OpHandle(st.next);
+        st.next += 1;
+        st.queued.push_back((h, op));
+        self.shared.cv.notify_all();
+        h
+    }
+
+    /// Submit an allreduce for background execution.
+    pub fn submit_allreduce(&self, data: Vec<f32>, op: ReduceOp, class: TrafficClass) -> OpHandle {
+        self.submit(QueuedOp::AllReduce { data, op, class })
+    }
+
+    /// Submit an allgather for background execution.
+    pub fn submit_allgather(&self, data: Vec<f32>, class: TrafficClass) -> OpHandle {
+        self.submit(QueuedOp::AllGather { data, class })
+    }
+
+    /// Non-blocking poll: `true` once `h`'s result is ready to take.
+    pub fn test(&self, h: OpHandle) -> bool {
+        self.shared.state.lock().completed.contains_key(&h)
+    }
+
+    /// Block until `h` completes and take its result.
+    ///
+    /// Errors immediately on handles never issued here or already
+    /// redeemed. Ops still queued at shutdown are drained by the driver
+    /// before it exits, so pending waits always resolve as long as
+    /// [`ProgressEngine::drive`] ran.
+    pub fn wait(&self, h: OpHandle) -> Result<OpResult, CollectiveError> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(r) = st.completed.remove(&h) {
+                return Ok(r);
+            }
+            let pending = st.in_flight == Some(h) || st.queued.iter().any(|(q, _)| *q == h);
+            if !pending {
+                return Err(CollectiveError::UnknownHandle(h));
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Drive the engine on the calling thread until shutdown: pop ops in
+    /// submission order, execute each against `comm` (outside the lock),
+    /// publish the result, and sleep when idle. Intended for one
+    /// dedicated communication thread per rank.
+    pub fn drive(&self, comm: &dyn Communicator) {
+        loop {
+            let popped = {
+                let mut st = self.shared.state.lock();
+                loop {
+                    if let Some((h, op)) = st.queued.pop_front() {
+                        st.in_flight = Some(h);
+                        break Some((h, op));
+                    }
+                    if st.shutdown {
+                        break None;
+                    }
+                    self.shared.cv.wait(&mut st);
+                }
+            };
+            let Some((h, op)) = popped else { return };
+            // The collective rendezvous happens here, unlocked, so
+            // submitters and waiters on this rank are never blocked on
+            // another rank's arrival.
+            let result = op.execute(comm);
+            let mut st = self.shared.state.lock();
+            st.in_flight = None;
+            st.completed.insert(h, result);
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Ask the driver to exit once the queue drains, and wake everyone.
+    pub fn shutdown(&self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalComm;
+    use crate::thread::ThreadComm;
+    use std::thread;
+
+    #[test]
+    fn background_thread_completes_submitted_ops() {
+        let engine = ProgressEngine::new();
+        let driver = {
+            let engine = engine.clone();
+            thread::spawn(move || {
+                let comm = LocalComm::new();
+                engine.drive(&comm);
+            })
+        };
+        let h1 = engine.submit_allreduce(vec![1.0, 2.0], ReduceOp::Sum, TrafficClass::Gradient);
+        let h2 = engine.submit_allgather(vec![3.0], TrafficClass::Eigen);
+        assert_eq!(
+            engine.wait(h1).unwrap().into_reduced().unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(
+            engine.wait(h2).unwrap().into_gathered().unwrap(),
+            vec![vec![3.0]]
+        );
+        engine.shutdown();
+        driver.join().unwrap();
+    }
+
+    #[test]
+    fn test_polls_without_blocking_and_wait_errors_on_unknown() {
+        let engine = ProgressEngine::new();
+        let bogus = OpHandle(42);
+        assert!(!engine.test(bogus));
+        assert_eq!(
+            engine.wait(bogus),
+            Err(CollectiveError::UnknownHandle(bogus))
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn multi_rank_engines_keep_collective_order() {
+        let comms = ThreadComm::create(4);
+        let results: Vec<Vec<f32>> = thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .enumerate()
+                .map(|(rank, comm)| {
+                    s.spawn(move || {
+                        let engine = ProgressEngine::new();
+                        let driver = {
+                            let engine = engine.clone();
+                            s.spawn(move || engine.drive(comm))
+                        };
+                        // Several ops, identical order on every rank.
+                        let hs: Vec<OpHandle> = (0..5)
+                            .map(|i| {
+                                engine.submit_allreduce(
+                                    vec![(rank * 10 + i) as f32],
+                                    ReduceOp::Sum,
+                                    TrafficClass::Gradient,
+                                )
+                            })
+                            .collect();
+                        let out: Vec<f32> = hs
+                            .into_iter()
+                            .map(|h| engine.wait(h).unwrap().into_reduced().unwrap()[0])
+                            .collect();
+                        engine.shutdown();
+                        driver.join().unwrap();
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // sum over ranks of (rank*10 + i) = 60 + 4i.
+        for out in results {
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, (60 + 4 * i) as f32);
+            }
+        }
+    }
+}

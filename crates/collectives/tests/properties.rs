@@ -2,7 +2,7 @@
 //! sequential reference for arbitrary group sizes, payload lengths and
 //! contents.
 
-use kfac_collectives::{Communicator, ReduceOp, ThreadComm};
+use kfac_collectives::{Communicator, FusionBuffer, ReduceOp, ThreadComm, TrafficClass};
 use proptest::prelude::*;
 use std::thread;
 
@@ -90,6 +90,62 @@ proptest! {
                 prop_assert_eq!(g.len(), base_len + rank);
                 for (i, &v) in g.iter().enumerate() {
                     prop_assert_eq!(v, (rank * 1000 + i) as f32);
+                }
+            }
+        }
+    }
+
+    /// Fusion pack/unpack round-trip: queue tensors of uneven sizes so
+    /// several auto-flushes fire mid-stream, then flush the tail; every
+    /// id must come back with its exact reduced payload, in push order,
+    /// on 1-, 2- and 4-rank groups.
+    #[test]
+    fn fusion_returns_exact_reduced_payloads_across_auto_flushes(
+        size_pick in 0usize..3,
+        n_tensors in 1usize..24,
+        threshold_f32s in 1usize..12,
+        seed in any::<u32>(),
+    ) {
+        let size = [1, 2, 4][size_pick];
+        // Uneven lengths (1..=7 floats) derived deterministically from
+        // the seed; identical on every rank, as the fusion contract
+        // requires, so auto-flush boundaries line up.
+        let len_of = |t: usize| 1 + (seed as usize + t * 13) % 7;
+        let val_of = |rank: usize, t: usize, i: usize| {
+            ((seed as usize + rank * 101 + t * 17 + i * 3) % 50) as f32 - 25.0
+        };
+        let expect: Vec<(usize, Vec<f32>)> = (0..n_tensors)
+            .map(|t| {
+                let reduced = (0..len_of(t))
+                    .map(|i| (0..size).map(|r| val_of(r, t, i)).sum::<f32>())
+                    .collect();
+                (t, reduced)
+            })
+            .collect();
+        let results = run_group(size, |rank, comm| {
+            let mut fb = FusionBuffer::new(
+                threshold_f32s * std::mem::size_of::<f32>(),
+                ReduceOp::Sum,
+                TrafficClass::Factor,
+            );
+            let mut done = Vec::new();
+            for t in 0..n_tensors {
+                let data: Vec<f32> = (0..len_of(t)).map(|i| val_of(rank, t, i)).collect();
+                fb.push(t, data, comm);
+                // Interleave draining with pushing: order must still hold.
+                done.extend(fb.take_completed());
+            }
+            fb.flush(comm);
+            done.extend(fb.take_completed());
+            done
+        });
+        for done in results {
+            prop_assert_eq!(done.len(), expect.len());
+            for ((id, got), (want_id, want)) in done.iter().zip(&expect) {
+                prop_assert_eq!(id, want_id);
+                prop_assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want) {
+                    prop_assert!((g - w).abs() < 1e-4, "id {} got {} want {}", id, g, w);
                 }
             }
         }

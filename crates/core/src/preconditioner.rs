@@ -160,7 +160,32 @@ impl Kfac {
     /// trainer enables activation/gradient capture on the model exactly
     /// for these iterations, so ordinary iterations pay no capture cost.
     pub fn needs_capture(&self) -> bool {
+        self.is_factor_iteration()
+    }
+
+    /// Whether the current iteration recomputes Kronecker factors
+    /// (Algorithm 1 lines 4–8 run this step).
+    pub fn is_factor_iteration(&self) -> bool {
         self.iteration.is_multiple_of(self.factor_interval() as u64)
+    }
+
+    /// Whether the current iteration recomputes eigendecompositions
+    /// (Algorithm 1 lines 9–18 run this step).
+    pub fn is_eig_iteration(&self) -> bool {
+        self.iteration.is_multiple_of(self.update_freq as u64)
+    }
+
+    /// Zero-based index of the current iteration (increments on
+    /// [`Kfac::advance`], which [`Kfac::step`] calls last).
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Finish the current iteration. [`Kfac::step`] calls this
+    /// internally; phase-level drivers (the overlapped execution graph)
+    /// call it once after their last phase.
+    pub fn advance(&mut self) {
+        self.iteration += 1;
     }
 
     /// Run one preconditioning step (Algorithm 1). Call after the
@@ -175,11 +200,10 @@ impl Kfac {
             "model structure changed since Kfac::new"
         );
 
-        let k = self.iteration;
-        if k.is_multiple_of(self.factor_interval() as u64) {
+        if self.is_factor_iteration() {
             self.update_factors(&layers, comm);
         }
-        let eig_update = k.is_multiple_of(self.update_freq as u64);
+        let eig_update = self.is_eig_iteration();
         match self.cfg.strategy {
             DistStrategy::Opt => {
                 if eig_update {
@@ -194,77 +218,105 @@ impl Kfac {
                 self.precondition_lw(&mut layers, comm, lr);
             }
         }
-        self.iteration += 1;
+        self.advance();
     }
 
     /// Algorithm 1 lines 4–8: local factor computation, running-average
-    /// update, fused allreduce.
+    /// update, fused allreduce. Composed from the phase methods below so
+    /// the sequential and overlapped paths share identical numerics.
     fn update_factors(&mut self, layers: &[&mut dyn KfacEligible], comm: &dyn Communicator) {
         let comp_span = Span::enter("kfac/factor_comp")
             .with("iter", self.iteration)
             .with("layers", layers.len());
         for (li, layer) in layers.iter().enumerate() {
-            assert!(
-                layer.has_capture(),
-                "factor update at iteration {} but layer {} ({}) has no capture; \
-                 enable capture when needs_capture() is true",
-                self.iteration,
-                li,
-                layer.kfac_name()
-            );
-            let (a, g) = layer.compute_factors();
-            let xi = self.cfg.running_avg;
-            for (id, new) in [(2 * li, a), (2 * li + 1, g)] {
-                match &mut self.averages[id] {
-                    Some(avg) => avg.axpby(xi, &new, 1.0 - xi),
-                    slot @ None => *slot = Some(new),
-                }
-            }
+            self.factor_update_layer(li, &**layer);
         }
         drop(comp_span);
 
-        // Fused allreduce of every factor in one collective (the fusion
-        // buffer rationale of §II-D; factors are small and numerous).
-        // With `triangular_factor_comm` only the upper triangle travels:
-        // factors are symmetric, so this halves the payload exactly.
         let _comm_span = Span::enter("kfac/factor_comm").with("iter", self.iteration);
         if comm.size() > 1 {
-            let triangular = self.cfg.triangular_factor_comm;
-            let mut fused = Vec::new();
-            for avg in self.averages.iter().flatten() {
-                if triangular {
-                    let n = avg.rows();
-                    for i in 0..n {
-                        fused.extend_from_slice(&avg.row(i)[i..]);
-                    }
-                } else {
-                    fused.extend_from_slice(avg.as_slice());
-                }
-            }
+            let mut fused = self.factor_pack();
             comm.allreduce_tagged(&mut fused, ReduceOp::Average, TrafficClass::Factor);
-            let mut off = 0;
-            for avg in self.averages.iter_mut().flatten() {
-                if triangular {
-                    let n = avg.rows();
-                    for i in 0..n {
-                        let len = n - i;
-                        avg.row_mut(i)[i..].copy_from_slice(&fused[off..off + len]);
-                        off += len;
-                    }
-                    // Mirror onto the lower triangle.
-                    for i in 0..n {
-                        for j in (i + 1)..n {
-                            let v = avg[(i, j)];
-                            avg[(j, i)] = v;
-                        }
-                    }
-                } else {
-                    let len = avg.len();
-                    avg.as_mut_slice().copy_from_slice(&fused[off..off + len]);
-                    off += len;
-                }
+            self.factor_unpack(&fused);
+        }
+        self.note_factor_update();
+    }
+
+    /// Phase: compute K-FAC-eligible layer `li`'s Kronecker factors from
+    /// its capture and fold them into the running averages (Eq. 16–17).
+    /// Layers are independent, so calls may run in any order / in
+    /// parallel across `li`.
+    pub fn factor_update_layer(&mut self, li: usize, layer: &dyn KfacEligible) {
+        assert!(
+            layer.has_capture(),
+            "factor update at iteration {} but layer {} ({}) has no capture; \
+             enable capture when needs_capture() is true",
+            self.iteration,
+            li,
+            layer.kfac_name()
+        );
+        let (a, g) = layer.compute_factors();
+        let xi = self.cfg.running_avg;
+        for (id, new) in [(2 * li, a), (2 * li + 1, g)] {
+            match &mut self.averages[id] {
+                Some(avg) => avg.axpby(xi, &new, 1.0 - xi),
+                slot @ None => *slot = Some(new),
             }
         }
+    }
+
+    /// Phase: pack every running-average factor into one fused payload
+    /// for a single allreduce (the fusion-buffer rationale of §II-D;
+    /// factors are small and numerous). With `triangular_factor_comm`
+    /// only the upper triangle travels: factors are symmetric, so this
+    /// halves the payload exactly.
+    pub fn factor_pack(&self) -> Vec<f32> {
+        let triangular = self.cfg.triangular_factor_comm;
+        let mut fused = Vec::new();
+        for avg in self.averages.iter().flatten() {
+            if triangular {
+                let n = avg.rows();
+                for i in 0..n {
+                    fused.extend_from_slice(&avg.row(i)[i..]);
+                }
+            } else {
+                fused.extend_from_slice(avg.as_slice());
+            }
+        }
+        fused
+    }
+
+    /// Phase: write an allreduced fused payload (from
+    /// [`Kfac::factor_pack`]) back into the running averages, mirroring
+    /// the lower triangle when triangular packing is on.
+    pub fn factor_unpack(&mut self, fused: &[f32]) {
+        let triangular = self.cfg.triangular_factor_comm;
+        let mut off = 0;
+        for avg in self.averages.iter_mut().flatten() {
+            if triangular {
+                let n = avg.rows();
+                for i in 0..n {
+                    let len = n - i;
+                    avg.row_mut(i)[i..].copy_from_slice(&fused[off..off + len]);
+                    off += len;
+                }
+                // Mirror onto the lower triangle.
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let v = avg[(i, j)];
+                        avg[(j, i)] = v;
+                    }
+                }
+            } else {
+                let len = avg.len();
+                avg.as_mut_slice().copy_from_slice(&fused[off..off + len]);
+                off += len;
+            }
+        }
+    }
+
+    /// Phase: record that a factor update completed (statistics only).
+    pub fn note_factor_update(&mut self) {
         self.factor_updates += 1;
     }
 
@@ -315,45 +367,83 @@ impl Kfac {
     }
 
     /// Algorithm 1 lines 9–18 (K-FAC-opt): round-robin factor assignment,
-    /// local decompositions, allgather.
+    /// local decompositions, allgather. Composed from the phase methods
+    /// below so the sequential and overlapped paths share identical
+    /// numerics.
     fn update_second_order_opt(&mut self, comm: &dyn Communicator) {
         let world = comm.size();
         let rank = comm.rank();
-        let assignment = assign_factors(self.cfg.placement, &self.factors, world);
+        let assignment = self.eig_assignment(world);
 
         let owned = assignment.iter().filter(|&&o| o == rank).count();
         let comp_span = Span::enter("kfac/eig_comp")
             .with("iter", self.iteration)
             .with("factors", owned);
-        let mut payload = Vec::new();
-        for f in &self.factors {
-            if assignment[f.id] == rank {
-                let so = self.compute_second_order(f.id);
-                self.encode_second_order(&so, &mut payload);
-                self.second_order[f.id] = so;
-            }
+        let mine: Vec<usize> = (0..self.factors.len())
+            .filter(|&id| assignment[id] == rank)
+            .collect();
+        for id in mine {
+            self.eig_compute_one(id);
         }
         drop(comp_span);
 
         let _comm_span = Span::enter("kfac/eig_comm").with("iter", self.iteration);
         if world > 1 {
+            let payload = self.eig_local_payload(&assignment, rank);
             let gathered = comm.allgather_tagged(&payload, TrafficClass::Eigen);
-            // Decode: walk factors in id order, consuming each owner's
-            // payload sequentially (the deterministic-assignment property
-            // makes the framing implicit).
-            let mut offsets = vec![0usize; world];
-            for f in &self.factors {
-                let owner = assignment[f.id];
-                let len = self.wire_len(f.id);
-                let start = offsets[owner];
-                offsets[owner] += len;
-                if owner == rank {
-                    continue; // already stored locally
-                }
-                let data = &gathered[owner][start..start + len];
-                self.second_order[f.id] = self.decode_second_order(f.id, data);
+            self.eig_apply_gathered(&assignment, rank, &gathered);
+        }
+        self.note_eig_update();
+    }
+
+    /// Phase: the factor→rank ownership map for a `world`-rank group
+    /// (round-robin / cost-balanced per the placement policy, Fig. 3
+    /// step 2). Deterministic: every rank computes the same map.
+    pub fn eig_assignment(&self, world: usize) -> Vec<usize> {
+        assign_factors(self.cfg.placement, &self.factors, world)
+    }
+
+    /// Phase: eigendecompose (or invert) factor `id` from its running
+    /// average and store the result locally. Factors are independent, so
+    /// calls may run in any order across `id`.
+    pub fn eig_compute_one(&mut self, id: usize) {
+        self.second_order[id] = self.compute_second_order(id);
+    }
+
+    /// Phase: serialize this rank's owned second-order results (factor
+    /// id order) into the allgather payload of Algorithm 1 line 18.
+    pub fn eig_local_payload(&self, assignment: &[usize], rank: usize) -> Vec<f32> {
+        let mut payload = Vec::new();
+        for f in &self.factors {
+            if assignment[f.id] == rank {
+                self.encode_second_order(&self.second_order[f.id], &mut payload);
             }
         }
+        payload
+    }
+
+    /// Phase: decode every other rank's allgathered payload into local
+    /// second-order state. Walks factors in id order, consuming each
+    /// owner's payload sequentially (the deterministic-assignment
+    /// property makes the framing implicit).
+    pub fn eig_apply_gathered(&mut self, assignment: &[usize], rank: usize, gathered: &[Vec<f32>]) {
+        let mut offsets = vec![0usize; gathered.len()];
+        for f in &self.factors {
+            let owner = assignment[f.id];
+            let len = self.wire_len(f.id);
+            let start = offsets[owner];
+            offsets[owner] += len;
+            if owner == rank {
+                continue; // already stored locally
+            }
+            let data = &gathered[owner][start..start + len];
+            self.second_order[f.id] = self.decode_second_order(f.id, data);
+        }
+    }
+
+    /// Phase: record that a second-order update completed (statistics
+    /// only).
+    pub fn note_eig_update(&mut self) {
         self.eig_updates += 1;
     }
 
@@ -376,12 +466,13 @@ impl Kfac {
                 }
             }
         }
-        self.eig_updates += 1;
+        self.note_eig_update();
     }
 
-    /// Preconditioned gradient for one layer from stored second-order
-    /// state.
-    fn precondition_layer(&self, li: usize, grad: &Matrix) -> Matrix {
+    /// Phase: preconditioned gradient for one layer from stored
+    /// second-order state (Eq. 13–15). Read-only; layers are
+    /// independent, so calls may run in any order across `li`.
+    pub fn precondition_one(&self, li: usize, grad: &Matrix) -> Matrix {
         match (&self.second_order[2 * li], &self.second_order[2 * li + 1]) {
             (FactorSecondOrder::Eigen(a), FactorSecondOrder::Eigen(g)) => precondition_eigen(
                 &EigenPair {
@@ -410,7 +501,7 @@ impl Kfac {
         let preconds: Vec<Matrix> = grads
             .iter()
             .enumerate()
-            .map(|(li, g)| self.precondition_layer(li, g))
+            .map(|(li, g)| self.precondition_one(li, g))
             .collect();
         self.apply_with_clip(layers, &preconds, &grads, lr);
     }
@@ -433,7 +524,7 @@ impl Kfac {
         let mut payload = Vec::new();
         for (li, grad) in grads.iter().enumerate() {
             if owners[li] == rank {
-                let pg = self.precondition_layer(li, grad);
+                let pg = self.precondition_one(li, grad);
                 payload.extend_from_slice(pg.as_slice());
             }
         }
@@ -462,9 +553,11 @@ impl Kfac {
         self.apply_with_clip(layers, &preconds, &grads, lr);
     }
 
-    /// Apply the KL-clip ν (Eq. 18) and write preconditioned gradients
-    /// back into the layers.
-    fn apply_with_clip(
+    /// Phase: apply the KL-clip ν (Eq. 18) and write preconditioned
+    /// gradients back into the layers. The clip couples all layers
+    /// (ν sums over every `(pg, g)` pair), so this phase runs once,
+    /// after every [`Kfac::precondition_one`] is done.
+    pub fn apply_with_clip(
         &self,
         layers: &mut [&mut dyn KfacEligible],
         preconds: &[Matrix],

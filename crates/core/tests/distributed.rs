@@ -357,3 +357,84 @@ fn triangular_factor_comm_matches_full_and_halves_traffic() {
         );
     }
 }
+
+/// Same as [`run_rank`] but driving the public phase methods directly —
+/// the exact composition the overlapped execution graph uses. Must be
+/// bitwise identical to `Kfac::step`.
+fn run_rank_phases(comm: &dyn Communicator, cfg: KfacConfig, steps: usize) -> Vec<f32> {
+    use kfac_collectives::{ReduceOp, TrafficClass};
+    use kfac_tensor::Matrix;
+    let mut model = build_model(42);
+    let mut kfac = Kfac::new(&mut model, cfg);
+    for s in 0..steps {
+        run_fwd_bwd(&mut model, kfac.needs_capture(), 100 + s as u64);
+        let mut layers = Vec::new();
+        model.collect_kfac(&mut layers);
+        if kfac.is_factor_iteration() {
+            for (li, layer) in layers.iter().enumerate() {
+                kfac.factor_update_layer(li, &**layer);
+            }
+            if comm.size() > 1 {
+                let mut fused = kfac.factor_pack();
+                comm.allreduce_tagged(&mut fused, ReduceOp::Average, TrafficClass::Factor);
+                kfac.factor_unpack(&fused);
+            }
+            kfac.note_factor_update();
+        }
+        if kfac.is_eig_iteration() {
+            let assignment = kfac.eig_assignment(comm.size());
+            for (id, &owner) in assignment.iter().enumerate() {
+                if owner == comm.rank() {
+                    kfac.eig_compute_one(id);
+                }
+            }
+            if comm.size() > 1 {
+                let payload = kfac.eig_local_payload(&assignment, comm.rank());
+                let gathered = comm.allgather_tagged(&payload, TrafficClass::Eigen);
+                kfac.eig_apply_gathered(&assignment, comm.rank(), &gathered);
+            }
+            kfac.note_eig_update();
+        }
+        let grads: Vec<Matrix> = layers.iter().map(|l| l.grad_matrix()).collect();
+        let preconds: Vec<Matrix> = grads
+            .iter()
+            .enumerate()
+            .map(|(li, g)| kfac.precondition_one(li, g))
+            .collect();
+        kfac.apply_with_clip(&mut layers, &preconds, &grads, 0.1);
+        kfac.advance();
+    }
+    let mut flat = Vec::new();
+    model.visit_params("", &mut |_, _, g| flat.extend_from_slice(g));
+    flat
+}
+
+#[test]
+fn phase_composition_is_bitwise_identical_to_step() {
+    let cfg = KfacConfig {
+        update_freq: 2,
+        ..KfacConfig::default()
+    };
+    // Single rank.
+    let whole = run_rank(&LocalComm::new(), cfg.clone(), 5);
+    let phased = run_rank_phases(&LocalComm::new(), cfg.clone(), 5);
+    assert_eq!(whole, phased, "single-rank phases diverge from step()");
+
+    // Multi-rank: rank r runs step(), compared against rank r of a
+    // separate group running the phase composition.
+    for world in [2, 4] {
+        let whole = run_group(world, cfg.clone(), 5);
+        let comms = ThreadComm::create(world);
+        let cfg_ref = &cfg;
+        let phased: Vec<Vec<f32>> = thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|comm| s.spawn(move || run_rank_phases(comm, cfg_ref.clone(), 5)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (rank, (w, p)) in whole.iter().zip(&phased).enumerate() {
+            assert_eq!(w, p, "world={world} rank={rank} phases diverge from step()");
+        }
+    }
+}

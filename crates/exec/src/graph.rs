@@ -1,0 +1,133 @@
+//! Dependency graph of typed tasks.
+//!
+//! A [`TaskGraph`] is built once per training iteration: nodes carry
+//! their work as closures borrowing the iteration's state, edges point
+//! at earlier nodes only (enforced at [`TaskGraph::add`] time), so the
+//! graph is acyclic by construction and ascending id order is always a
+//! valid serial schedule. *External* nodes carry no work: they model
+//! completion events signaled from inside another task (a layer
+//! finishing its slice of the backward sweep) via
+//! [`ExecCtl::complete`](crate::ExecCtl::complete).
+
+use crate::executor::ExecCtl;
+use crate::task::{Lane, TaskId, TaskKind};
+
+pub(crate) enum Work<'w> {
+    /// Run this closure on a worker.
+    Run(Box<dyn FnOnce(&ExecCtl) + Send + 'w>),
+    /// No work: completes when signaled via `ExecCtl::complete` (and
+    /// all dependencies, if any, are done).
+    External,
+}
+
+pub(crate) struct Node<'w> {
+    pub kind: TaskKind,
+    pub deps: Vec<TaskId>,
+    pub work: Work<'w>,
+}
+
+/// A buildable task graph; consumed by [`Executor::run`](crate::Executor::run).
+#[derive(Default)]
+pub struct TaskGraph<'w> {
+    pub(crate) nodes: Vec<Node<'w>>,
+}
+
+impl<'w> TaskGraph<'w> {
+    /// Empty graph.
+    pub fn new() -> Self {
+        TaskGraph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, kind: TaskKind, deps: &[TaskId], work: Work<'w>) -> TaskId {
+        let id = TaskId(self.nodes.len());
+        for d in deps {
+            assert!(
+                d.0 < id.0,
+                "dependency {:?} of task {:?} must be added before it",
+                d,
+                id
+            );
+        }
+        self.nodes.push(Node {
+            kind,
+            deps: deps.to_vec(),
+            work,
+        });
+        id
+    }
+
+    /// Add a task executing `f` once all `deps` complete. Dependencies
+    /// must already be in the graph (smaller ids), which keeps the
+    /// graph acyclic without a separate validation pass.
+    pub fn add(
+        &mut self,
+        kind: TaskKind,
+        deps: &[TaskId],
+        f: impl FnOnce(&ExecCtl) + Send + 'w,
+    ) -> TaskId {
+        self.push(kind, deps, Work::Run(Box::new(f)))
+    }
+
+    /// Add an external completion event: the node completes once all
+    /// `deps` are done AND some running task has signaled it with
+    /// [`ExecCtl::complete`](crate::ExecCtl::complete).
+    pub fn add_external(&mut self, kind: TaskKind, deps: &[TaskId]) -> TaskId {
+        self.push(kind, deps, Work::External)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Kind of a node.
+    pub fn kind(&self, id: TaskId) -> TaskKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Ids of communication-lane tasks, ascending — the order the
+    /// dedicated comm worker will execute them in.
+    pub fn comm_ids(&self) -> Vec<TaskId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].kind.lane() == Lane::Comm)
+            .map(TaskId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_deps_must_precede() {
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Forward, &[], |_| {});
+        let b = g.add(TaskKind::Custom("x"), &[a], |_| {});
+        assert_eq!((a, b), (TaskId(0), TaskId(1)));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.kind(b), TaskKind::Custom("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn forward_dependency_panics() {
+        let mut g = TaskGraph::new();
+        g.add(TaskKind::Forward, &[TaskId(5)], |_| {});
+    }
+
+    #[test]
+    fn comm_ids_are_ascending_comm_lane_tasks() {
+        let mut g = TaskGraph::new();
+        g.add(TaskKind::Forward, &[], |_| {});
+        g.add(TaskKind::GradAllreduce(0), &[], |_| {});
+        g.add(TaskKind::Backward(0), &[], |_| {});
+        g.add(TaskKind::EigenAllgather, &[], |_| {});
+        assert_eq!(g.comm_ids(), vec![TaskId(1), TaskId(3)]);
+    }
+}

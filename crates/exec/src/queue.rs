@@ -1,0 +1,72 @@
+//! Priority-aware ready queue.
+//!
+//! Among simultaneously-ready tasks, higher [`TaskKind::priority`]
+//! (traffic-class-derived for communication) runs first; ties break
+//! toward the lower task id, which both keeps the schedule deterministic
+//! for a fixed arrival order and favors earlier pipeline stages.
+
+use crate::task::TaskId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    pri: u8,
+    id: Reverse<usize>,
+}
+
+/// Max-heap of ready tasks keyed by (priority, lowest id).
+#[derive(Default)]
+pub struct ReadyQueue {
+    heap: BinaryHeap<Key>,
+}
+
+impl ReadyQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a ready task.
+    pub fn push(&mut self, id: TaskId, priority: u8) {
+        self.heap.push(Key {
+            pri: priority,
+            id: Reverse(id.0),
+        });
+    }
+
+    /// Remove and return the highest-priority (then lowest-id) task.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        self.heap.pop().map(|k| TaskId(k.id.0))
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_lowest_id() {
+        let mut q = ReadyQueue::new();
+        q.push(TaskId(4), 40);
+        q.push(TaskId(9), 100);
+        q.push(TaskId(2), 100);
+        q.push(TaskId(7), 90);
+        assert_eq!(q.pop(), Some(TaskId(2)));
+        assert_eq!(q.pop(), Some(TaskId(9)));
+        assert_eq!(q.pop(), Some(TaskId(7)));
+        assert_eq!(q.pop(), Some(TaskId(4)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+}

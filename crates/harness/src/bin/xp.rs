@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! xp <experiment> [--scale smoke|quick|full] [--out results/] [--trace-out trace.json]
+//!                 [--overlap [workers]]
 //! xp all [--scale …]        # everything
 //! xp list                   # available experiment ids
 //! ```
+//!
+//! With `--overlap`, every training run an experiment drives goes through
+//! the task-graph execution engine (`kfac-exec`) instead of the
+//! sequential reference loop: per-bucket gradient allreduces and K-FAC
+//! factor traffic overlap backprop on a worker pool. Results are
+//! bitwise identical either way (see the `overlap` experiment).
 //!
 //! With `--trace-out`, every run (measured CPU training and simulator
 //! projections alike) records spans into one shared telemetry registry;
@@ -13,8 +20,10 @@
 //! p50/p95/p99 is printed to stderr.
 
 use kfac_harness::experiments::{self, ALL_EXPERIMENTS};
+use kfac_harness::overlap::set_default_exec;
 use kfac_harness::presets::Scale;
 use kfac_harness::report::append_to_file;
+use kfac_harness::ExecStrategy;
 use kfac_telemetry::{export, Registry};
 use std::path::PathBuf;
 
@@ -58,6 +67,20 @@ fn main() {
                     std::process::exit(2);
                 })));
             }
+            "--overlap" => {
+                // Optional worker count; defaults to 2 compute workers
+                // (+ the dedicated communication worker).
+                let workers = match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(w) if w >= 1 => {
+                        i += 1;
+                        w
+                    }
+                    _ => 2,
+                };
+                set_default_exec(ExecStrategy::Overlapped {
+                    compute_workers: workers,
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage_and_exit();
@@ -76,7 +99,7 @@ fn main() {
         // Deduplicate aliases (table2/fig4 and table3/fig6 share drivers).
         vec![
             "table1", "table2", "fig5", "table3", "fig7", "fig8", "fig9", "table4", "table5",
-            "table6", "fig10",
+            "table6", "fig10", "overlap",
         ]
     } else {
         vec![target]
@@ -130,7 +153,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: xp <experiment|all|list> [--scale smoke|quick|full] [--out DIR] \
-         [--trace-out FILE]\n\
+         [--trace-out FILE] [--overlap [WORKERS]]\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -10,6 +10,7 @@
 //! | [`table5`] | Table V — factor/eig stage time profile |
 //! | [`table6`] | Table VI — per-worker eig imbalance (+ LPT placement ablation) |
 //! | [`fig10`] | Fig. 10 — factor computation time vs model size (measured + projected) |
+//! | [`overlap`] | §V — overlapped vs sequential execution (measured + projected) |
 //!
 //! Each driver returns an [`ExperimentOutput`] of markdown tables plus
 //! free-form notes; the `xp` binary prints them and appends to
@@ -20,6 +21,7 @@ pub mod correctness;
 pub mod fig10;
 pub mod fig5;
 pub mod freq;
+pub mod overlap;
 pub mod scaling;
 pub mod table1;
 pub mod table5;
@@ -72,6 +74,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "table6",
     "fig10",
     "ablations",
+    "overlap",
 ];
 
 /// Dispatch one experiment by id.
@@ -89,6 +92,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "table6" => Some(table6::run()),
         "fig10" => Some(fig10::run(scale)),
         "ablations" => Some(ablations::run(scale)),
+        "overlap" => Some(overlap::run(scale)),
         _ => None,
     }
 }

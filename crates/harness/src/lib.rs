@@ -21,9 +21,11 @@
 //! ```
 
 pub mod experiments;
+pub mod overlap;
 pub mod presets;
 pub mod report;
 pub mod trainer;
 
+pub use overlap::ExecStrategy;
 pub use presets::{CifarSetup, ImagenetSetup, Scale};
 pub use trainer::{train, TrainConfig, TrainResult};

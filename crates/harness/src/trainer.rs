@@ -8,7 +8,8 @@
 //! Validation accuracy is computed with sharded evaluation and count
 //! allreduce at the end of each epoch.
 
-use kfac::{Kfac, KfacConfig, StageStats};
+use crate::overlap::{overlap_iteration, ExecStrategy};
+use kfac::{DistStrategy, Kfac, KfacConfig, StageStats};
 use kfac_collectives::{Communicator, LocalComm, ReduceOp, ThreadComm, Traffic, TrafficClass};
 use kfac_data::{batch_of, Dataset, ShardedSampler};
 use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
@@ -42,6 +43,9 @@ pub struct TrainConfig {
     /// creates a fresh registry per run; pass a shared one to collect
     /// several runs onto a single timeline (e.g. `xp --trace-out`).
     pub telemetry: Option<Registry>,
+    /// How each rank executes its iteration: sequential phases (the
+    /// reference oracle), the overlapped task graph, or seeded replay.
+    pub exec: ExecStrategy,
 }
 
 impl TrainConfig {
@@ -58,12 +62,19 @@ impl TrainConfig {
             kfac: None,
             seed: 42,
             telemetry: None,
+            exec: crate::overlap::default_exec(),
         }
     }
 
     /// Attach a K-FAC preconditioner.
     pub fn with_kfac(mut self, cfg: KfacConfig) -> Self {
         self.kfac = Some(cfg);
+        self
+    }
+
+    /// Select the execution strategy (e.g. `--overlap`).
+    pub fn with_exec(mut self, exec: ExecStrategy) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -99,6 +110,9 @@ pub struct TrainResult {
     /// The telemetry registry the run recorded into: per-rank spans for
     /// every iteration stage, exportable via `kfac_telemetry::export`.
     pub telemetry: Registry,
+    /// Rank-0 flat model parameters after the final epoch (visit_params
+    /// order) — the witness for bitwise overlap-vs-sequential checks.
+    pub final_params: Vec<f32>,
 }
 
 impl TrainResult {
@@ -209,10 +223,26 @@ fn run_rank(
             let _iter_span = Span::enter("train/iteration")
                 .with("epoch", epoch)
                 .with("iter", bi);
+            let (x, labels) = batch_of(train_ds, &indices, epoch as u64 + 1);
+            if let Some(mode) = cfg.exec.exec_mode() {
+                let loss = overlap_iteration(
+                    &mut model,
+                    &mut kfac,
+                    &mut optimizer,
+                    comm,
+                    &x,
+                    &labels,
+                    &criterion,
+                    lr,
+                    capture,
+                    mode,
+                );
+                loss_sum += loss as f64;
+                continue;
+            }
             model.zero_grad();
             model.set_capture(capture);
 
-            let (x, labels) = batch_of(train_ds, &indices, epoch as u64 + 1);
             {
                 let _span = Span::enter("train/forward").with("batch", indices.len());
                 let out = model.forward(&x, Mode::Train);
@@ -255,6 +285,8 @@ fn run_rank(
     }
     let best = records.iter().map(|r| r.val_acc).fold(0.0, f64::max);
     let last = records.last().map(|r| r.val_acc).unwrap_or(0.0);
+    let mut final_params = Vec::new();
+    model.visit_params("", &mut |_, p, _| final_params.extend_from_slice(p));
     Some(TrainResult {
         final_val_acc: last,
         best_val_acc: best,
@@ -263,6 +295,7 @@ fn run_rank(
         stage_stats: kfac.map(|k| k.stats()),
         telemetry: registry.clone(),
         epochs: records,
+        final_params,
     })
 }
 
@@ -277,6 +310,16 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainResult {
     assert!(cfg.ranks >= 1);
+    if cfg.exec != ExecStrategy::Sequential {
+        if let Some(k) = &cfg.kfac {
+            assert_eq!(
+                k.strategy,
+                DistStrategy::Opt,
+                "overlapped execution implements the K-FAC-opt phase graph only; \
+                 use ExecStrategy::Sequential for K-FAC-lw"
+            );
+        }
+    }
     // Precedence: explicit per-run registry, else the calling thread's
     // ambient one (so `xp --trace-out` captures every run it drives
     // without each driver threading a handle), else a fresh registry.
@@ -402,6 +445,58 @@ mod tests {
         }
     }
 
+    /// Satellite 4: the `--overlap` trainer must be bitwise identical to
+    /// the sequential oracle — weights AND losses — after 3 iterations
+    /// of 4-rank K-FAC CIFAR training.
+    #[test]
+    fn overlap_is_bitwise_identical_to_sequential_on_4_rank_cifar() {
+        // 4 ranks × batch 8 × 3 batches/epoch = 96 training samples.
+        let (train_ds, val_ds) = synthetic_cifar(8, 96, 32, 11);
+        let base = {
+            let mut cfg = tiny_cfg(4, 1);
+            cfg.local_batch = 8;
+            cfg.kfac = Some(KfacConfig {
+                update_freq: 2,
+                ..KfacConfig::default()
+            });
+            cfg
+        };
+        let sequential = train(build, &train_ds, &val_ds, &base);
+        assert!(!sequential.final_params.is_empty());
+
+        for exec in [
+            ExecStrategy::Overlapped { compute_workers: 2 },
+            ExecStrategy::Replay { seed: 7 },
+        ] {
+            let mut cfg = base.clone();
+            cfg.exec = exec;
+            let overlapped = train(build, &train_ds, &val_ds, &cfg);
+            assert_eq!(
+                sequential.final_params, overlapped.final_params,
+                "{exec:?} weights diverge from sequential"
+            );
+            for (s, o) in sequential.epochs.iter().zip(&overlapped.epochs) {
+                assert_eq!(
+                    s.train_loss.to_bits(),
+                    o.train_loss.to_bits(),
+                    "{exec:?} loss diverges from sequential"
+                );
+            }
+        }
+    }
+
+    /// SGD-only (no K-FAC) overlap must also match the oracle.
+    #[test]
+    fn overlap_matches_sequential_without_kfac() {
+        let (train_ds, val_ds) = synthetic_cifar(8, 64, 32, 5);
+        let mut cfg = tiny_cfg(2, 1);
+        cfg.local_batch = 8;
+        let sequential = train(build, &train_ds, &val_ds, &cfg);
+        cfg.exec = ExecStrategy::Overlapped { compute_workers: 1 };
+        let overlapped = train(build, &train_ds, &val_ds, &cfg);
+        assert_eq!(sequential.final_params, overlapped.final_params);
+    }
+
     #[test]
     fn epochs_to_reach_finds_threshold() {
         let r = TrainResult {
@@ -431,6 +526,7 @@ mod tests {
             traffic: Traffic::default(),
             stage_stats: None,
             telemetry: Registry::new(),
+            final_params: Vec::new(),
         };
         assert_eq!(r.epochs_to_reach(0.6), Some(1));
         assert_eq!(r.epochs_to_reach(0.9), None);

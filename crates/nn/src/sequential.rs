@@ -34,6 +34,54 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Backward pass with a per-child completion callback.
+    ///
+    /// Children run in reverse structural order (the order gradients
+    /// become available); after child `c` finishes its backward,
+    /// `on_layer_done(c, layer)` fires with the child's structural index
+    /// and the child itself, whose gradients are now final for this
+    /// iteration. This is the hook the overlap scheduler uses to release
+    /// a layer's gradient bucket for allreduce while earlier layers are
+    /// still in backprop (paper §V-B).
+    pub fn backward_each(
+        &mut self,
+        grad_output: &Tensor4,
+        on_layer_done: &mut dyn FnMut(usize, &mut dyn Layer),
+    ) -> Tensor4 {
+        let mut g = grad_output.clone();
+        for (c, layer) in self.layers.iter_mut().enumerate().rev() {
+            g = layer.backward(&g);
+            on_layer_done(c, &mut **layer);
+        }
+        g
+    }
+
+    /// Visit the parameters of direct child `child` only, in the same
+    /// order [`Layer::visit_params`] yields them for the whole chain.
+    #[allow(clippy::type_complexity)] // the visitor signature IS the API
+    pub fn visit_child_params(
+        &mut self,
+        child: usize,
+        f: &mut dyn FnMut(&str, &mut [f32], &mut [f32]),
+    ) {
+        self.layers[child].visit_params("", f);
+    }
+
+    /// Flat parameter count of each direct child, in structural order.
+    /// Summing the result gives [`Layer::num_params`]; the per-child
+    /// sizes define the contiguous gradient-bucket ranges used by the
+    /// overlapped execution path.
+    pub fn child_param_counts(&mut self) -> Vec<usize> {
+        self.layers
+            .iter_mut()
+            .map(|l| {
+                let mut n = 0;
+                l.visit_params("", &mut |_, p, _| n += p.len());
+                n
+            })
+            .collect()
+    }
 }
 
 impl Default for Sequential {
@@ -52,11 +100,7 @@ impl Layer for Sequential {
     }
 
     fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
-        }
-        g
+        self.backward_each(grad_output, &mut |_, _| {})
     }
 
     fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
@@ -142,6 +186,41 @@ mod tests {
         m.visit_params("", &mut |_, _, g| {
             assert!(g.iter().all(|&v| v == 0.0));
         });
+    }
+
+    #[test]
+    fn backward_each_fires_in_reverse_order_and_matches_backward() {
+        let mut rng = Rng64::new(6);
+        let mut m = mlp(&mut rng);
+        let x = tensor_from(2, 4, 1, 1, &[0.5; 8]);
+        let y = m.forward(&x, Mode::Train);
+        let mut order = Vec::new();
+        let g1 = m.backward_each(&y, &mut |c, _| order.push(c));
+        assert_eq!(order, vec![2, 1, 0], "reverse structural order");
+
+        // Same forward state, plain backward: identical input gradient.
+        let mut rng2 = Rng64::new(6);
+        let mut m2 = mlp(&mut rng2);
+        let y2 = m2.forward(&x, Mode::Train);
+        let g2 = m2.backward(&y2);
+        assert_eq!(g1.as_slice(), g2.as_slice());
+    }
+
+    #[test]
+    fn child_param_counts_partition_the_flat_parameter_vector() {
+        let mut rng = Rng64::new(7);
+        let mut m = mlp(&mut rng);
+        let counts = m.child_param_counts();
+        assert_eq!(counts, vec![30, 0, 21]); // fc1, ReLU, fc2
+        assert_eq!(counts.iter().sum::<usize>(), m.num_params());
+
+        // visit_child_params sees exactly that child's slice.
+        let mut seen = 0;
+        m.visit_child_params(2, &mut |name, p, _| {
+            assert!(name.contains("fc2"), "unexpected param {name}");
+            seen += p.len();
+        });
+        assert_eq!(seen, 21);
     }
 
     #[test]

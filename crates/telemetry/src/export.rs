@@ -28,12 +28,23 @@ fn category(name: &str) -> &str {
 }
 
 /// Render events as a Chrome trace-event document: one process, one
-/// timeline thread per rank (`tid` = rank), complete (`"ph":"X"`) events
+/// timeline thread per `(rank, lane)` pair, complete (`"ph":"X"`) events
 /// in microseconds, plus metadata events naming the process and threads.
+///
+/// A rank's main thread (lane `None`) comes first and keeps `tid` = its
+/// enumeration order; worker lanes (`"comm"`, `"w1"`, ...) get their own
+/// rows directly below it, so overlapped communication is visually
+/// side-by-side with the compute it hides behind.
 pub fn chrome_trace(events: &[SpanEvent]) -> String {
     let mut sorted: Vec<&SpanEvent> = events.iter().collect();
-    sorted.sort_by_key(|e| (e.rank, e.start_us, e.seq));
-    let ranks: BTreeSet<usize> = sorted.iter().map(|e| e.rank).collect();
+    sorted.sort_by_key(|e| (e.rank, e.lane.is_some(), e.lane, e.start_us, e.seq));
+    // `Option<&str>` orders None (main lane) before any named lane, so
+    // enumeration order groups each rank's lanes under its main row.
+    let lanes: BTreeSet<(usize, Option<&'static str>)> =
+        sorted.iter().map(|e| (e.rank, e.lane)).collect();
+    let tid_of = |rank: usize, lane: Option<&'static str>| -> usize {
+        lanes.iter().position(|&l| l == (rank, lane)).unwrap_or(0)
+    };
 
     let mut out = String::with_capacity(events.len() * 128 + 256);
     out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
@@ -50,18 +61,22 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
         "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, \
          \"args\": {\"name\": \"kfac-rs\"}}",
     );
-    for &rank in &ranks {
+    for (tid, &(rank, lane)) in lanes.iter().enumerate() {
+        let label = match lane {
+            Some(lane) => format!("rank {rank} {lane}"),
+            None => format!("rank {rank}"),
+        };
         emit_sep(&mut out, &mut first);
         let _ = write!(
             out,
-            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {rank}, \
-             \"args\": {{\"name\": \"rank {rank}\"}}}}"
+            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{label}\"}}}}"
         );
         emit_sep(&mut out, &mut first);
         let _ = write!(
             out,
-            "{{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 1, \"tid\": {rank}, \
-             \"args\": {{\"sort_index\": {rank}}}}}"
+            "{{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"sort_index\": {tid}}}}}"
         );
     }
 
@@ -74,7 +89,9 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
         let _ = write!(
             out,
             ", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{",
-            ev.rank, ev.start_us, ev.dur_us
+            tid_of(ev.rank, ev.lane),
+            ev.start_us,
+            ev.dur_us
         );
         let _ = write!(out, "\"depth\": {}", ev.depth);
         for (k, v) in &ev.attrs {
@@ -103,6 +120,10 @@ pub fn jsonl(events: &[SpanEvent]) -> String {
             ", \"rank\": {}, \"depth\": {}, \"ts_us\": {}, \"dur_us\": {}",
             ev.rank, ev.depth, ev.start_us, ev.dur_us
         );
+        if let Some(lane) = ev.lane {
+            out.push_str(", \"lane\": ");
+            escape_into(&mut out, lane);
+        }
         for (k, v) in &ev.attrs {
             out.push_str(", ");
             escape_into(&mut out, k);
@@ -262,6 +283,7 @@ mod tests {
         SpanEvent {
             name,
             rank,
+            lane: None,
             depth,
             seq,
             start_us: start,
@@ -329,6 +351,42 @@ mod tests {
         let table = stage_table(&sample_events());
         assert!(table.contains("train/iteration"));
         assert!(table.contains("wall"));
+    }
+
+    #[test]
+    fn chrome_trace_gives_each_rank_lane_its_own_tid() {
+        let mut events = sample_events();
+        let mut comm = ev("comm/allreduce", 0, 0, 3, 10, 30);
+        comm.lane = Some("comm");
+        events.push(comm);
+        let doc = chrome_trace(&events);
+        let parsed = Json::parse(&doc).expect("valid JSON");
+        let evs = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // 3 timeline rows now: rank 0, rank 0 comm, rank 1.
+        let names: Vec<String> = evs
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(names, vec!["rank 0", "rank 0 comm", "rank 1"]);
+        // The lane event lands on tid 1, between rank 0 (tid 0) and rank 1 (tid 2).
+        let lane_tids: Vec<i64> = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").unwrap().as_str() == Some("X")
+                    && e.get("ts").unwrap().as_f64() == Some(10.0)
+            })
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(lane_tids, vec![1]);
     }
 
     #[test]

@@ -58,6 +58,7 @@ const FLUSH_BATCH: usize = 256;
 struct ThreadCtx {
     registry: Registry,
     rank: usize,
+    lane: Option<&'static str>,
     depth: u32,
     seq: u64,
     buf: Vec<SpanEvent>,
@@ -89,10 +90,23 @@ impl Registry {
     /// Spans entered while the returned guard lives are collected here.
     /// Nested installs stack: the previous recorder is restored on drop.
     pub fn install(&self, rank: usize) -> InstallGuard {
+        self.install_inner(rank, None)
+    }
+
+    /// Like [`Registry::install`], but tags every span recorded on this
+    /// thread with a worker `lane` (e.g. `"comm"`, `"w1"`). Lanes give
+    /// worker threads of one rank their own timeline rows in the Chrome
+    /// trace, so compute/communication overlap is visible in Perfetto.
+    pub fn install_lane(&self, rank: usize, lane: &'static str) -> InstallGuard {
+        self.install_inner(rank, Some(lane))
+    }
+
+    fn install_inner(&self, rank: usize, lane: Option<&'static str>) -> InstallGuard {
         let prev = CTX.with(|c| {
             c.borrow_mut().replace(ThreadCtx {
                 registry: self.clone(),
                 rank,
+                lane,
                 depth: 0,
                 seq: 0,
                 buf: Vec::with_capacity(FLUSH_BATCH),
@@ -210,6 +224,7 @@ impl Drop for Span {
                 ctx.buf.push(SpanEvent {
                     name: self.name,
                     rank: ctx.rank,
+                    lane: ctx.lane,
                     depth: self.depth,
                     seq,
                     start_us,
@@ -278,6 +293,25 @@ mod tests {
         drop(_s);
         assert_eq!(b.span_agg("in_b", None).count, 1);
         assert_eq!(a.span_agg("in_b", None).count, 0);
+    }
+
+    #[test]
+    fn install_lane_tags_spans_with_the_lane() {
+        let registry = Registry::new();
+        {
+            let _g = registry.install_lane(2, "comm");
+            let _s = Span::enter("comm/allreduce");
+        }
+        {
+            let _g = registry.install(2);
+            let _s = Span::enter("train/backward");
+        }
+        let events = registry.events();
+        let comm = events.iter().find(|e| e.name == "comm/allreduce").unwrap();
+        let bwd = events.iter().find(|e| e.name == "train/backward").unwrap();
+        assert_eq!(comm.lane, Some("comm"));
+        assert_eq!(comm.rank, 2);
+        assert_eq!(bwd.lane, None);
     }
 
     #[test]

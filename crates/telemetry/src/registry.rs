@@ -88,6 +88,10 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Rank whose thread recorded the span.
     pub rank: usize,
+    /// Worker lane within the rank (e.g. `"comm"`, `"w1"`); `None` for
+    /// the rank's main thread. Exporters give each `(rank, lane)` pair
+    /// its own timeline row so overlap is visible.
+    pub lane: Option<&'static str>,
     /// Nesting depth at entry (0 = top level).
     pub depth: u32,
     /// Per-thread completion sequence number; orders same-rank events
