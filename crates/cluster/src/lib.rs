@@ -31,7 +31,7 @@ pub mod scaling;
 pub mod trace;
 
 pub use hardware::{calibrate_host, ClusterSpec, GpuSpec};
-pub use iteration::{IterationModel, KfacRunConfig, StageTimes};
+pub use iteration::{IterationModel, KfacRunConfig, StageTimes, StragglerDist};
 pub use profile::ModelProfile;
 pub use scaling::{
     crossover_scale, efficiency, paper_update_freq, scaling_sweep, time_to_solution, ScalingPoint,

@@ -6,6 +6,7 @@
 //! sequence of collective calls (the standard MPI/Horovod contract);
 //! violating it deadlocks, exactly as it would on the real stack.
 
+use crate::handle::CollectiveError;
 use crate::traffic::{Traffic, TrafficClass};
 
 /// Reduction applied by [`Communicator::allreduce`].
@@ -71,6 +72,50 @@ pub trait Communicator: Send + Sync {
     /// [`TrafficClass::Other`].
     fn broadcast(&self, buf: &mut [f32], root: usize) {
         self.broadcast_tagged(buf, root, TrafficClass::Other);
+    }
+
+    /// Fallible [`allreduce_tagged`](Communicator::allreduce_tagged):
+    /// surfaces transport faults as [`CollectiveError`] instead of
+    /// panicking or hanging. The default implementation delegates to the
+    /// infallible path (plain communicators cannot fail), so the
+    /// fault-free code path is bitwise unchanged; fault-aware wrappers
+    /// ([`crate::faults::FaultyCommunicator`]) and the hardened
+    /// [`crate::ThreadComm`] override it.
+    ///
+    /// On `Err` the buffer contents are unspecified but the caller's
+    /// source data (if retained) can be replayed: implementations must
+    /// make a failed attempt side-effect free on the *group* state so
+    /// retrying is sound.
+    fn try_allreduce_tagged(
+        &self,
+        buf: &mut [f32],
+        op: ReduceOp,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
+        self.allreduce_tagged(buf, op, class);
+        Ok(())
+    }
+
+    /// Fallible [`allgather_tagged`](Communicator::allgather_tagged);
+    /// see [`try_allreduce_tagged`](Communicator::try_allreduce_tagged).
+    fn try_allgather_tagged(
+        &self,
+        payload: &[f32],
+        class: TrafficClass,
+    ) -> Result<Vec<Vec<f32>>, CollectiveError> {
+        Ok(self.allgather_tagged(payload, class))
+    }
+
+    /// Fallible [`broadcast_tagged`](Communicator::broadcast_tagged);
+    /// see [`try_allreduce_tagged`](Communicator::try_allreduce_tagged).
+    fn try_broadcast_tagged(
+        &self,
+        buf: &mut [f32],
+        root: usize,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
+        self.broadcast_tagged(buf, root, class);
+        Ok(())
     }
 
     /// Block until every rank reaches the barrier.

@@ -12,6 +12,7 @@
 //! and unpacked back to their owners.
 
 use crate::communicator::{Communicator, ReduceOp};
+use crate::handle::CollectiveError;
 use crate::traffic::TrafficClass;
 
 /// One queued tensor awaiting fusion.
@@ -64,19 +65,37 @@ impl FusionBuffer {
     }
 
     /// Reduce everything queued in one collective.
+    ///
+    /// # Panics
+    /// Panics on a collective fault; use [`FusionBuffer::try_flush`]
+    /// under fault injection.
     pub fn flush(&mut self, comm: &dyn Communicator) {
+        self.try_flush(comm)
+            .unwrap_or_else(|e| panic!("fusion flush failed: {e}"));
+    }
+
+    /// Reduce everything queued in one collective, surfacing transport
+    /// faults.
+    ///
+    /// Retry-safe by construction: the fused send buffer is packed from
+    /// the pending tensors without consuming them, and pending state is
+    /// drained only after the collective succeeds. On `Err` the queued
+    /// tensors are all still pending, so a later `try_flush` re-packs
+    /// the identical buffer (idempotent re-pack).
+    pub fn try_flush(&mut self, comm: &dyn Communicator) -> Result<(), CollectiveError> {
         if self.pending.is_empty() {
-            return;
+            return Ok(());
         }
-        // Pack.
+        // Pack (pending tensors are borrowed, not consumed).
         let total: usize = self.pending.iter().map(|p| p.data.len()).sum();
         let mut fused = Vec::with_capacity(total);
         for p in &self.pending {
             fused.extend_from_slice(&p.data);
         }
-        // One bandwidth-bound collective instead of many latency-bound ones.
-        comm.allreduce_tagged(&mut fused, self.op, self.class);
-        // Unpack.
+        // One bandwidth-bound collective instead of many latency-bound
+        // ones. On failure, return before touching pending state.
+        comm.try_allreduce_tagged(&mut fused, self.op, self.class)?;
+        // Unpack: only now is the pending queue consumed.
         let mut offset = 0;
         for p in self.pending.drain(..) {
             let n = p.data.len();
@@ -84,6 +103,7 @@ impl FusionBuffer {
             offset += n;
         }
         self.pending_bytes = 0;
+        Ok(())
     }
 
     /// Drain completed tensors `(id, reduced_data)` in completion order.
@@ -161,6 +181,49 @@ mod tests {
         // 50 tensors, exactly one collective op.
         assert_eq!(comm.traffic().ops, 1);
         assert_eq!(comm.traffic().factor_bytes, 50 * 10 * 4);
+    }
+
+    #[test]
+    fn failed_flush_keeps_pending_and_repacks_identically() {
+        use crate::faults::{FaultPlan, FaultPlanConfig, FaultyCommunicator};
+        use std::sync::Arc;
+
+        // First index starts a 1-op transient window: the first flush
+        // fails, the retry succeeds.
+        let mut seed = 0;
+        let plan = loop {
+            let p = FaultPlan::new(
+                FaultPlanConfig {
+                    seed,
+                    transient_prob: 0.3,
+                    transient_ops: 1,
+                    ..FaultPlanConfig::default()
+                },
+                1,
+            );
+            if p.fault_at(0, TrafficClass::Factor).is_some()
+                && p.fault_at(1, TrafficClass::Factor).is_none()
+            {
+                break p;
+            }
+            seed += 1;
+        };
+        let comm = FaultyCommunicator::new(LocalComm::new(), Arc::new(plan));
+        let mut fb = FusionBuffer::new(usize::MAX, ReduceOp::Sum, TrafficClass::Factor);
+        fb.push(3, vec![1.5, 2.5], comm.inner());
+        fb.push(4, vec![-1.0], comm.inner());
+        let first = fb.try_flush(&comm);
+        assert!(first.is_err(), "{first:?}");
+        // Nothing was consumed or completed by the failed attempt.
+        assert_eq!(fb.pending_len(), 2);
+        assert!(fb.take_completed().is_empty());
+        // The retry re-packs the same tensors and succeeds.
+        fb.try_flush(&comm).unwrap();
+        assert_eq!(
+            fb.take_completed(),
+            vec![(3, vec![1.5, 2.5]), (4, vec![-1.0])]
+        );
+        assert_eq!(fb.pending_len(), 0);
     }
 
     #[test]

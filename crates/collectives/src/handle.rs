@@ -22,8 +22,15 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpHandle(pub(crate) u64);
 
-/// Misuse of op handles or results, surfaced as a value instead of a
-/// panic so schedulers can recover (or at least report) cleanly.
+/// Failure of a collective operation or misuse of op handles/results,
+/// surfaced as a value instead of a panic so schedulers can recover (or
+/// at least report) cleanly.
+///
+/// The first three variants are handle-protocol errors; the last four
+/// are *transport* outcomes raised by fault-aware communicators (see
+/// [`crate::faults`]) and the hardened rendezvous. [`CollectiveError::is_retryable`]
+/// distinguishes transient faults (worth retrying with backoff) from
+/// permanent ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectiveError {
     /// An [`OpResult`] was unwrapped as the wrong kind.
@@ -37,6 +44,39 @@ pub enum CollectiveError {
     UnknownHandle(OpHandle),
     /// The handle's op is still queued; it has not executed yet.
     NotCompleted(OpHandle),
+    /// The collective did not complete within its deadline (a straggler
+    /// or a transiently failed transport). Retryable.
+    Timeout {
+        /// How long the caller waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A rank has permanently left the group; no collective can complete
+    /// until the group is rebuilt. Not retryable.
+    RankFailed(
+        /// The failed rank.
+        usize,
+    ),
+    /// The payload failed an integrity check (bit-flip corruption was
+    /// detected in flight). Retryable: the source data is still intact.
+    Corrupted,
+    /// Ranks disagreed on the collective call (kind, reduce op, length,
+    /// or root). Not retryable: retrying replays the same mismatch.
+    Mismatch(
+        /// What disagreed.
+        &'static str,
+    ),
+}
+
+impl CollectiveError {
+    /// `true` for transient faults where retrying the same collective
+    /// (with backoff) can succeed; `false` for permanent failures and
+    /// protocol misuse.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            CollectiveError::Timeout { .. } | CollectiveError::Corrupted
+        )
+    }
 }
 
 impl fmt::Display for CollectiveError {
@@ -51,6 +91,16 @@ impl fmt::Display for CollectiveError {
             CollectiveError::NotCompleted(h) => {
                 write!(f, "handle {h:?} not completed; synchronize or poll first")
             }
+            CollectiveError::Timeout { waited_ms } => {
+                write!(f, "collective timed out after {waited_ms} ms")
+            }
+            CollectiveError::RankFailed(rank) => {
+                write!(f, "rank {rank} failed permanently")
+            }
+            CollectiveError::Corrupted => {
+                write!(f, "collective payload failed integrity check")
+            }
+            CollectiveError::Mismatch(what) => write!(f, "{what}"),
         }
     }
 }
@@ -70,19 +120,18 @@ pub(crate) enum QueuedOp {
 }
 
 impl QueuedOp {
-    /// Run the collective against `comm`, consuming the staged payload.
-    pub(crate) fn execute(self, comm: &dyn Communicator) -> OpResult {
+    /// Run the collective against `comm` without consuming the staged
+    /// payload, so a failed attempt can be retried from the same data
+    /// (the allreduce input is cloned per attempt).
+    pub(crate) fn try_execute(&self, comm: &dyn Communicator) -> Result<OpResult, CollectiveError> {
         match self {
-            QueuedOp::AllReduce {
-                mut data,
-                op,
-                class,
-            } => {
-                comm.allreduce_tagged(&mut data, op, class);
-                OpResult::Reduced(data)
+            QueuedOp::AllReduce { data, op, class } => {
+                let mut buf = data.clone();
+                comm.try_allreduce_tagged(&mut buf, *op, *class)?;
+                Ok(OpResult::Reduced(buf))
             }
             QueuedOp::AllGather { data, class } => {
-                OpResult::Gathered(comm.allgather_tagged(&data, class))
+                Ok(OpResult::Gathered(comm.try_allgather_tagged(data, *class)?))
             }
         }
     }
@@ -133,7 +182,7 @@ impl OpResult {
 pub struct OpQueue {
     next: u64,
     queued: VecDeque<(OpHandle, QueuedOp)>,
-    completed: HashMap<OpHandle, OpResult>,
+    completed: HashMap<OpHandle, Result<OpResult, CollectiveError>>,
 }
 
 impl OpQueue {
@@ -180,9 +229,14 @@ impl OpQueue {
     /// handle. The incremental counterpart of [`OpQueue::synchronize`],
     /// for callers (the exec comm worker) that interleave progress with
     /// other work instead of draining in one blocking batch.
+    ///
+    /// A failed collective (fault-aware communicators only) is recorded
+    /// against the handle and surfaced by [`OpQueue::take`]; the queue
+    /// itself keeps making progress.
     pub fn progress_one(&mut self, comm: &dyn Communicator) -> Option<OpHandle> {
         let (h, op) = self.queued.pop_front()?;
-        self.completed.insert(h, op.execute(comm));
+        let result = op.try_execute(comm);
+        self.completed.insert(h, result);
         Some(h)
     }
 
@@ -197,11 +251,13 @@ impl OpQueue {
     /// Redeem a completed handle.
     ///
     /// Returns [`CollectiveError::NotCompleted`] while the op is still
-    /// queued, and [`CollectiveError::UnknownHandle`] for handles never
-    /// issued here or already redeemed.
+    /// queued, [`CollectiveError::UnknownHandle`] for handles never
+    /// issued here or already redeemed, and the op's own failure (e.g.
+    /// [`CollectiveError::Timeout`]) when a fault-aware communicator
+    /// failed the collective.
     pub fn take(&mut self, h: OpHandle) -> Result<OpResult, CollectiveError> {
         if let Some(r) = self.completed.remove(&h) {
-            return Ok(r);
+            return r;
         }
         if self.queued.iter().any(|(q, _)| *q == h) {
             Err(CollectiveError::NotCompleted(h))

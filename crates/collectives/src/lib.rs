@@ -33,20 +33,30 @@
 //! * [`traffic`] — per-class byte accounting so experiments can report
 //!   communication volumes (gradients vs factors vs eigendecompositions).
 
+//! * [`faults`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   consulted by a [`FaultyCommunicator`] wrapper to inject stragglers,
+//!   transient/long outages, corruption, and rank loss — reproducibly,
+//!   from one seed — plus [`RetryPolicy`], the bounded
+//!   exponential-backoff retry loop the hardened paths use.
+
 pub mod communicator;
 pub mod cost;
+pub mod faults;
 pub mod fusion;
 pub mod handle;
 pub mod local;
 pub mod progress;
+pub mod retry;
 pub mod thread;
 pub mod traffic;
 
 pub use communicator::{Communicator, ReduceOp};
 pub use cost::LinkSpec;
+pub use faults::{ActiveFault, FaultKind, FaultPlan, FaultPlanConfig, FaultyCommunicator};
 pub use fusion::FusionBuffer;
 pub use handle::{CollectiveError, OpHandle, OpQueue, OpResult};
 pub use local::LocalComm;
 pub use progress::ProgressEngine;
+pub use retry::RetryPolicy;
 pub use thread::ThreadComm;
 pub use traffic::{Traffic, TrafficClass};

@@ -14,10 +14,12 @@
 
 use crate::communicator::{Communicator, ReduceOp};
 use crate::handle::{CollectiveError, OpHandle, OpResult, QueuedOp};
+use crate::retry::RetryPolicy;
 use crate::traffic::TrafficClass;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct EngineState {
     next: u64,
@@ -25,7 +27,9 @@ struct EngineState {
     /// The op the driver popped and is currently executing, if any;
     /// lets waiters distinguish "in flight" from "never issued / taken".
     in_flight: Option<OpHandle>,
-    completed: HashMap<OpHandle, OpResult>,
+    /// Outcomes keyed by handle: `Ok` results or the collective's own
+    /// failure (fault-aware communicators only).
+    completed: HashMap<OpHandle, Result<OpResult, CollectiveError>>,
     shutdown: bool,
 }
 
@@ -96,14 +100,16 @@ impl ProgressEngine {
     /// Block until `h` completes and take its result.
     ///
     /// Errors immediately on handles never issued here or already
-    /// redeemed. Ops still queued at shutdown are drained by the driver
-    /// before it exits, so pending waits always resolve as long as
+    /// redeemed, and surfaces the op's own failure (e.g.
+    /// [`CollectiveError::Timeout`]) when the driver's collective failed.
+    /// Ops still queued at shutdown are drained by the driver before it
+    /// exits, so pending waits always resolve as long as
     /// [`ProgressEngine::drive`] ran.
     pub fn wait(&self, h: OpHandle) -> Result<OpResult, CollectiveError> {
         let mut st = self.shared.state.lock();
         loop {
             if let Some(r) = st.completed.remove(&h) {
-                return Ok(r);
+                return r;
             }
             let pending = st.in_flight == Some(h) || st.queued.iter().any(|(q, _)| *q == h);
             if !pending {
@@ -113,11 +119,48 @@ impl ProgressEngine {
         }
     }
 
+    /// [`ProgressEngine::wait`] with a deadline: if `h` has not completed
+    /// within `timeout`, returns [`CollectiveError::Timeout`] and leaves
+    /// the op in place (a later `wait`/`wait_for` can still redeem it).
+    pub fn wait_for(&self, h: OpHandle, timeout: Duration) -> Result<OpResult, CollectiveError> {
+        let start = Instant::now();
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(r) = st.completed.remove(&h) {
+                return r;
+            }
+            let pending = st.in_flight == Some(h) || st.queued.iter().any(|(q, _)| *q == h);
+            if !pending {
+                return Err(CollectiveError::UnknownHandle(h));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return Err(CollectiveError::Timeout {
+                    waited_ms: elapsed.as_millis() as u64,
+                });
+            }
+            self.shared.cv.wait_for(&mut st, timeout - elapsed);
+        }
+    }
+
     /// Drive the engine on the calling thread until shutdown: pop ops in
     /// submission order, execute each against `comm` (outside the lock),
     /// publish the result, and sleep when idle. Intended for one
-    /// dedicated communication thread per rank.
+    /// dedicated communication thread per rank. Equivalent to
+    /// [`ProgressEngine::drive_with_policy`] with no retries.
     pub fn drive(&self, comm: &dyn Communicator) {
+        self.drive_with_policy(comm, RetryPolicy::none());
+    }
+
+    /// [`ProgressEngine::drive`] with bounded retry: each popped op is
+    /// attempted under `policy` (transient faults retry with exponential
+    /// backoff; a failed attempt re-runs from the op's original staged
+    /// payload, which [`QueuedOp::try_execute`] keeps intact). The final
+    /// outcome — `Ok` or the last error — is published to waiters.
+    ///
+    /// Ranks sharing a deterministic fault schedule make identical retry
+    /// decisions, so the cross-rank collective sequences stay aligned.
+    pub fn drive_with_policy(&self, comm: &dyn Communicator, policy: RetryPolicy) {
         loop {
             let popped = {
                 let mut st = self.shared.state.lock();
@@ -136,7 +179,7 @@ impl ProgressEngine {
             // The collective rendezvous happens here, unlocked, so
             // submitters and waiters on this rank are never blocked on
             // another rank's arrival.
-            let result = op.execute(comm);
+            let result = policy.run(|| op.try_execute(comm));
             let mut st = self.shared.state.lock();
             st.in_flight = None;
             st.completed.insert(h, result);
@@ -192,6 +235,104 @@ mod tests {
             Err(CollectiveError::UnknownHandle(bogus))
         );
         engine.shutdown();
+    }
+
+    #[test]
+    fn wait_for_times_out_then_still_redeems() {
+        let engine = ProgressEngine::new();
+        // No driver yet: the op stays queued, so the deadline fires.
+        let h = engine.submit_allreduce(vec![1.0], ReduceOp::Sum, TrafficClass::Gradient);
+        let out = engine.wait_for(h, std::time::Duration::from_millis(20));
+        assert!(
+            matches!(out, Err(CollectiveError::Timeout { .. })),
+            "{out:?}"
+        );
+        // Start the driver; the op is still queued and must complete.
+        let driver = {
+            let engine = engine.clone();
+            thread::spawn(move || {
+                let comm = LocalComm::new();
+                engine.drive(&comm);
+            })
+        };
+        let out = engine.wait_for(h, std::time::Duration::from_secs(5));
+        assert_eq!(out.unwrap().into_reduced().unwrap(), vec![1.0]);
+        engine.shutdown();
+        driver.join().unwrap();
+    }
+
+    #[test]
+    fn driver_retries_transient_faults_with_policy() {
+        use crate::faults::{FaultPlan, FaultPlanConfig, FaultyCommunicator};
+        use crate::retry::RetryPolicy;
+        use std::sync::Arc;
+
+        // A plan whose first index starts a 2-op transient window.
+        let mut seed = 0;
+        let plan = loop {
+            let p = FaultPlan::new(
+                FaultPlanConfig {
+                    seed,
+                    transient_prob: 0.2,
+                    transient_ops: 2,
+                    ..FaultPlanConfig::default()
+                },
+                1,
+            );
+            if p.fault_at(0, TrafficClass::Gradient).is_some() {
+                break p;
+            }
+            seed += 1;
+        };
+        let engine = ProgressEngine::new();
+        let driver = {
+            let engine = engine.clone();
+            let plan = Arc::new(plan);
+            thread::spawn(move || {
+                let comm = FaultyCommunicator::new(LocalComm::new(), plan);
+                let policy = RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff: std::time::Duration::ZERO,
+                    max_backoff: std::time::Duration::ZERO,
+                };
+                engine.drive_with_policy(&comm, policy);
+            })
+        };
+        let h = engine.submit_allreduce(vec![4.0, 5.0], ReduceOp::Sum, TrafficClass::Gradient);
+        assert_eq!(
+            engine.wait(h).unwrap().into_reduced().unwrap(),
+            vec![4.0, 5.0]
+        );
+        engine.shutdown();
+        driver.join().unwrap();
+    }
+
+    #[test]
+    fn driver_publishes_error_when_retries_exhaust() {
+        use crate::faults::{FaultPlan, FaultPlanConfig, FaultyCommunicator};
+        use crate::retry::RetryPolicy;
+        use std::sync::Arc;
+
+        let plan = Arc::new(FaultPlan::new(
+            FaultPlanConfig {
+                seed: 1,
+                rank_loss_at: Some((0, 0)),
+                ..FaultPlanConfig::default()
+            },
+            1,
+        ));
+        let engine = ProgressEngine::new();
+        let driver = {
+            let engine = engine.clone();
+            thread::spawn(move || {
+                let comm = FaultyCommunicator::new(LocalComm::new(), plan);
+                engine.drive_with_policy(&comm, RetryPolicy::default_comm());
+            })
+        };
+        let h = engine.submit_allreduce(vec![1.0], ReduceOp::Sum, TrafficClass::Gradient);
+        assert_eq!(engine.wait(h), Err(CollectiveError::RankFailed(0)));
+        engine.shutdown();
+        driver.join().unwrap();
     }
 
     #[test]

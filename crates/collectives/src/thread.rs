@@ -17,11 +17,15 @@
 //! ```
 //!
 //! All ranks must issue the same sequence of collective calls (the MPI /
-//! Horovod ordering contract); a mismatch deadlocks here exactly as it
-//! would on the real stack, which the integration tests rely on to catch
-//! protocol bugs in the K-FAC step.
+//! Horovod ordering contract). A mismatch is detected at the rendezvous
+//! and surfaced as [`CollectiveError::Mismatch`] to *every* participant
+//! of the offending generation (the infallible `Communicator` methods
+//! turn that into a panic) — a group failure rather than the silent
+//! deadlock the real stack would produce, so protocol bugs in the K-FAC
+//! step fail fast in tests.
 
 use crate::communicator::{combine_into, finalize, Communicator, ReduceOp};
+use crate::handle::CollectiveError;
 use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
 use kfac_telemetry::Span;
 use parking_lot::{Condvar, Mutex};
@@ -57,6 +61,11 @@ struct Slot {
     /// Per-rank payloads (allgather).
     payloads: Vec<Vec<f32>>,
     op: Option<ReduceOp>,
+    /// First protocol violation observed this generation. Once set, the
+    /// generation still runs to completion (every rank arrives and
+    /// departs) but every participant gets this error instead of a
+    /// result — a group failure, not a deadlock.
+    error: Option<CollectiveError>,
 }
 
 struct Shared {
@@ -92,6 +101,7 @@ impl ThreadComm {
                 acc: Vec::new(),
                 payloads: vec![Vec::new(); size],
                 op: None,
+                error: None,
             }),
             cv: Condvar::new(),
             traffic: TrafficCounter::new(),
@@ -113,13 +123,18 @@ impl ThreadComm {
     /// Run the generic rendezvous. `contribute` runs under the lock when
     /// this rank arrives; `extract` runs under the lock once the result is
     /// ready; the last departer resets the slot.
+    ///
+    /// Protocol violations (mismatched kind, op, or lengths) do not panic
+    /// under the lock: the offending generation records the error, every
+    /// rank still arrives and departs (so nobody deadlocks), and every
+    /// participant receives the same [`CollectiveError`].
     fn rendezvous<R>(
         &self,
         kind: OpKind,
-        contribute: impl FnOnce(&mut Slot),
-        complete: impl FnOnce(&mut Slot),
+        contribute: impl FnOnce(&mut Slot) -> Result<(), CollectiveError>,
+        complete: impl FnOnce(&mut Slot) -> Result<(), CollectiveError>,
         extract: impl FnOnce(&Slot) -> R,
-    ) -> R {
+    ) -> Result<R, CollectiveError> {
         let shared = &*self.shared;
         let mut slot = shared.slot.lock();
 
@@ -137,21 +152,28 @@ impl ThreadComm {
                 p.clear();
             }
             slot.op = None;
+            slot.error = None;
         }
-        assert_eq!(
-            slot.kind,
-            Some(kind),
-            "collective call sequence mismatch across ranks (rank {} issued {:?}, group is running {:?})",
-            self.rank,
-            kind,
-            slot.kind
-        );
-
-        contribute(&mut slot);
+        if slot.kind != Some(kind) {
+            // Still participate in the generation so every rank observes
+            // the failure instead of hanging on a rendezvous that can
+            // never complete.
+            slot.error = Some(CollectiveError::Mismatch(
+                "collective call sequence mismatch across ranks",
+            ));
+        } else if slot.error.is_none() {
+            if let Err(e) = contribute(&mut slot) {
+                slot.error = Some(e);
+            }
+        }
         slot.arrived += 1;
 
         if slot.arrived == shared.size {
-            complete(&mut slot);
+            if slot.error.is_none() {
+                if let Err(e) = complete(&mut slot) {
+                    slot.error = Some(e);
+                }
+            }
             slot.phase = Phase::Ready;
             slot.departed = 0;
             shared.cv.notify_all();
@@ -161,11 +183,15 @@ impl ThreadComm {
             }
         }
 
-        let result = extract(&slot);
+        let result = match slot.error {
+            Some(e) => Err(e),
+            None => Ok(extract(&slot)),
+        };
         slot.departed += 1;
         if slot.departed == shared.size {
             slot.phase = Phase::Idle;
             slot.kind = None;
+            slot.error = None;
             shared.cv.notify_all();
         }
         result
@@ -187,13 +213,33 @@ impl Communicator for ThreadComm {
     }
 
     fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
+        self.try_allreduce_tagged(buf, op, class)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        self.try_allgather_tagged(payload, class)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
+        self.try_broadcast_tagged(buf, root, class)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_allreduce_tagged(
+        &self,
+        buf: &mut [f32],
+        op: ReduceOp,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
         let size = self.shared.size;
         let _span = Span::enter("comm/allreduce")
             .with("class", class.name())
             .with("bytes", (buf.len() * 4) as u64);
         self.record(class, (buf.len() * 4) as u64);
         if size == 1 {
-            return;
+            return Ok(());
         }
         // Contributions are staged per rank and reduced in *rank order*
         // at completion: floating-point addition is non-associative, so
@@ -205,7 +251,11 @@ impl Communicator for ThreadComm {
             OpKind::AllReduce,
             |slot| {
                 if let Some(prev) = slot.op {
-                    assert_eq!(prev, op, "allreduce op mismatch across ranks");
+                    if prev != op {
+                        return Err(CollectiveError::Mismatch(
+                            "allreduce op mismatch across ranks",
+                        ));
+                    }
                 } else {
                     slot.op = Some(op);
                 }
@@ -214,12 +264,19 @@ impl Communicator for ThreadComm {
                     .iter()
                     .all(|p| p.is_empty() || p.len() == buf.len())
                 {
-                    panic!("allreduce length mismatch across ranks");
+                    return Err(CollectiveError::Mismatch(
+                        "allreduce length mismatch across ranks",
+                    ));
                 }
                 slot.payloads[rank] = buf.to_vec();
+                Ok(())
             },
             |slot| {
-                let op = slot.op.expect("op recorded at first arrival");
+                let Some(op) = slot.op else {
+                    return Err(CollectiveError::Mismatch(
+                        "allreduce op never recorded for this generation",
+                    ));
+                };
                 slot.acc = slot.payloads[0].clone();
                 for r in 1..size {
                     let contribution = std::mem::take(&mut slot.payloads[r]);
@@ -227,56 +284,78 @@ impl Communicator for ThreadComm {
                 }
                 slot.payloads[0].clear();
                 finalize(&mut slot.acc, op, size);
+                Ok(())
             },
             |slot| slot.acc.clone(),
-        );
+        )?;
         buf.copy_from_slice(&out);
+        Ok(())
     }
 
-    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+    fn try_allgather_tagged(
+        &self,
+        payload: &[f32],
+        class: TrafficClass,
+    ) -> Result<Vec<Vec<f32>>, CollectiveError> {
         let _span = Span::enter("comm/allgather")
             .with("class", class.name())
             .with("bytes", (payload.len() * 4) as u64);
         self.record(class, (payload.len() * 4) as u64);
         if self.shared.size == 1 {
-            return vec![payload.to_vec()];
+            return Ok(vec![payload.to_vec()]);
         }
         let rank = self.rank;
         self.rendezvous(
             OpKind::AllGather,
             |slot| {
                 slot.payloads[rank] = payload.to_vec();
+                Ok(())
             },
-            |_slot| {},
+            |_slot| Ok(()),
             |slot| slot.payloads.clone(),
         )
     }
 
-    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
-        assert!(root < self.shared.size, "broadcast root out of range");
+    fn try_broadcast_tagged(
+        &self,
+        buf: &mut [f32],
+        root: usize,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
         let _span = Span::enter("comm/broadcast")
             .with("class", class.name())
             .with("bytes", (buf.len() * 4) as u64)
             .with("root", root);
         self.record(class, (buf.len() * 4) as u64);
         if self.shared.size == 1 {
-            return;
+            if root != 0 {
+                return Err(CollectiveError::Mismatch("broadcast root out of range"));
+            }
+            return Ok(());
         }
         let rank = self.rank;
+        let size = self.shared.size;
         let out = self.rendezvous(
             OpKind::Broadcast,
             |slot| {
+                if root >= size {
+                    return Err(CollectiveError::Mismatch("broadcast root out of range"));
+                }
                 if rank == root {
                     slot.acc = buf.to_vec();
                 }
+                Ok(())
             },
-            |_slot| {},
+            |_slot| Ok(()),
             |slot| slot.acc.clone(),
-        );
+        )?;
         if rank != root {
-            assert_eq!(out.len(), buf.len(), "broadcast length mismatch");
+            if out.len() != buf.len() {
+                return Err(CollectiveError::Mismatch("broadcast length mismatch"));
+            }
             buf.copy_from_slice(&out);
         }
+        Ok(())
     }
 
     fn barrier(&self) {
@@ -284,7 +363,8 @@ impl Communicator for ThreadComm {
             return;
         }
         let _span = Span::enter("comm/barrier");
-        self.rendezvous(OpKind::Barrier, |_| {}, |_| {}, |_| ());
+        self.rendezvous(OpKind::Barrier, |_| Ok(()), |_| Ok(()), |_| ())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn traffic(&self) -> Traffic {
@@ -456,6 +536,60 @@ mod tests {
             assert_eq!(t.factor_bytes, 400);
             assert_eq!(t.eigen_bytes, 400);
             assert_eq!(t.ops, 3);
+        }
+    }
+
+    #[test]
+    fn mismatched_kinds_error_on_every_rank_instead_of_deadlocking() {
+        let results = run_group(2, |rank, comm| {
+            if rank == 0 {
+                comm.try_allreduce_tagged(&mut [1.0], ReduceOp::Sum, TrafficClass::Other)
+                    .map(|_| ())
+            } else {
+                comm.try_allgather_tagged(&[1.0], TrafficClass::Other)
+                    .map(|_| ())
+            }
+        });
+        for r in results {
+            assert_eq!(
+                r,
+                Err(CollectiveError::Mismatch(
+                    "collective call sequence mismatch across ranks"
+                ))
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_error_on_every_rank() {
+        let results = run_group(3, |rank, comm| {
+            let mut buf = vec![0.0; 2 + rank % 2]; // ranks disagree on length
+            comm.try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Other)
+        });
+        for r in results {
+            assert_eq!(
+                r,
+                Err(CollectiveError::Mismatch(
+                    "allreduce length mismatch across ranks"
+                ))
+            );
+        }
+    }
+
+    #[test]
+    fn group_recovers_after_a_failed_generation() {
+        let results = run_group(2, |rank, comm| {
+            let mut bad = vec![0.0; 1 + rank]; // length mismatch → group error
+            let first = comm.try_allreduce_tagged(&mut bad, ReduceOp::Sum, TrafficClass::Other);
+            assert!(first.is_err());
+            // The next, well-formed collective must still work.
+            let mut good = vec![rank as f32];
+            comm.try_allreduce_tagged(&mut good, ReduceOp::Sum, TrafficClass::Other)
+                .unwrap();
+            good[0]
+        });
+        for r in results {
+            assert_eq!(r, 1.0);
         }
     }
 

@@ -1,0 +1,172 @@
+//! Property tests for the fault-injection layer: schedules must be
+//! byte-identical given a seed, and transient-fault retry must converge
+//! to the fault-free allreduce result bitwise.
+
+use kfac_collectives::{
+    CollectiveError, Communicator, FaultPlan, FaultPlanConfig, FaultyCommunicator, ReduceOp,
+    RetryPolicy, ThreadComm, TrafficClass,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn chaos_config(seed: u64) -> FaultPlanConfig {
+    FaultPlanConfig {
+        seed,
+        delay_prob: 0.02,
+        delay_micros: 50,
+        transient_prob: 0.15,
+        transient_ops: 2,
+        timeout_prob: 0.01,
+        timeout_ops: 8,
+        corrupt_prob: 0.05,
+        bitflip_prob: 0.02,
+        rank_loss_at: Some((10_000, 0)),
+        ..FaultPlanConfig::default()
+    }
+}
+
+fn run_group<R: Send>(size: usize, f: impl Fn(usize, ThreadComm) -> R + Sync) -> Vec<R> {
+    let comms = ThreadComm::create(size);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| s.spawn(move || f(rank, comm)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any seed yields byte-identical fault schedules across two
+    /// independently built plans, for every targeted class.
+    #[test]
+    fn any_seed_yields_identical_schedules(
+        seed in any::<u64>(),
+        world in 1usize..9,
+    ) {
+        let a = FaultPlan::new(chaos_config(seed), world);
+        let b = FaultPlan::new(chaos_config(seed), world);
+        for class in [TrafficClass::Gradient, TrafficClass::Factor, TrafficClass::Eigen] {
+            prop_assert_eq!(
+                a.schedule_bytes(400, class),
+                b.schedule_bytes(400, class),
+                "schedule differs for {:?} at seed {}", class, seed
+            );
+        }
+    }
+
+    /// Transient-fault retry converges to the fault-free allreduce
+    /// result — bitwise — on 1, 2 and 4 ranks.
+    #[test]
+    fn transient_retry_converges_to_fault_free(
+        seed in any::<u64>(),
+        len in 1usize..32,
+        rounds in 1usize..6,
+    ) {
+        let payload = |rank: usize, round: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let x = (seed as usize)
+                        .wrapping_add(rank * 131)
+                        .wrapping_add(round * 17)
+                        .wrapping_add(i * 7);
+                    ((x % 2000) as f32 - 1000.0) * 0.125
+                })
+                .collect()
+        };
+        // Only transient faults, window strictly below the retry budget:
+        // every collective must eventually succeed, with the same bits
+        // the fault-free run produces.
+        let cfg = FaultPlanConfig {
+            seed,
+            transient_prob: 0.3,
+            transient_ops: 3,
+            ..FaultPlanConfig::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        for world in [1usize, 2, 4] {
+            // Fault-free reference.
+            let clean = run_group(world, |rank, comm| {
+                (0..rounds)
+                    .map(|round| {
+                        let mut buf = payload(rank, round);
+                        comm.allreduce_tagged(&mut buf, ReduceOp::Average, TrafficClass::Gradient);
+                        buf
+                    })
+                    .collect::<Vec<_>>()
+            });
+            // Faulty run with retry.
+            let plan = Arc::new(FaultPlan::new(cfg.clone(), world));
+            let faulty = run_group(world, |rank, comm| {
+                let fc = FaultyCommunicator::new(comm, Arc::clone(&plan));
+                (0..rounds)
+                    .map(|round| {
+                        let mut buf = payload(rank, round);
+                        policy
+                            .run(|| {
+                                fc.try_allreduce_tagged(
+                                    &mut buf,
+                                    ReduceOp::Average,
+                                    TrafficClass::Gradient,
+                                )
+                            })
+                            .expect("transient faults must heal under retry");
+                        buf
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (c, f) in clean.iter().zip(faulty.iter()) {
+                for (cr, fr) in c.iter().zip(f.iter()) {
+                    for (a, b) in cr.iter().zip(fr.iter()) {
+                        prop_assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "world {}: retried result diverged from fault-free", world
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Ranks consulting the same plan see the same error for the same
+/// logical op, so group-wide degradation decisions stay in lockstep.
+#[test]
+fn errors_are_identical_across_ranks() {
+    let plan = Arc::new(FaultPlan::new(
+        FaultPlanConfig {
+            seed: 42,
+            rank_loss_at: Some((3, 1)),
+            transient_prob: 0.5,
+            transient_ops: 1,
+            ..FaultPlanConfig::default()
+        },
+        4,
+    ));
+    let outcomes = run_group(4, |rank, comm| {
+        let fc = FaultyCommunicator::new(comm, Arc::clone(&plan));
+        (0..6)
+            .map(|_| {
+                let mut buf = vec![rank as f32];
+                fc.try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient)
+                    .err()
+            })
+            .collect::<Vec<Option<CollectiveError>>>()
+    });
+    for w in outcomes.windows(2) {
+        assert_eq!(w[0], w[1], "ranks diverged on fault outcomes");
+    }
+    // And the rank-loss indexes are terminal.
+    assert_eq!(outcomes[0][5], Some(CollectiveError::RankFailed(1)));
+}

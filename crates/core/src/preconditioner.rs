@@ -23,6 +23,24 @@
 //! Osawa et al. \[6\] is implemented alongside for the Fig. 7–9 comparison:
 //! there, a layer's owner computes both decompositions *and* the
 //! preconditioned gradient, which is then exchanged every iteration.
+//!
+//! ## Graceful degradation
+//!
+//! The same staleness that powers the decoupling is the natural fault
+//! response: if a factor allreduce times out the iteration simply reuses
+//! the previous averages ([`Kfac::factor_unpack_checked`] /
+//! [`Kfac::note_stale_factor`]); if an eigendecomposition fails to
+//! converge or a gathered payload is corrupted, the factor falls back to
+//! a damped-identity preconditioner (gradient scaled by `1/(1+γ)` —
+//! plain SGD for that layer) rather than poisoning the update. The
+//! staged [`Kfac::eig_compute_payload`] / [`Kfac::eig_apply_all`] pair
+//! keeps second-order state untouched until the allgather has succeeded,
+//! so a failed exchange leaves every rank identically stale. All
+//! degradations are counted (`kfac/stale_factor_steps`,
+//! `kfac/eig_fallbacks`, `kfac/identity_preconds`) and surfaced through
+//! [`Kfac::stats`]. [`Kfac::save_state`] / [`Kfac::restore_state`]
+//! round-trip the full optimizer state for checkpoint-based rank-loss
+//! recovery.
 
 use crate::config::{DistStrategy, InversionMethod, KfacConfig};
 use crate::distribution::{assign_factors, assign_layers_lw, factor_descs, FactorDesc};
@@ -64,6 +82,16 @@ pub struct Kfac {
     telemetry: Option<(Registry, usize)>,
     factor_updates: u64,
     eig_updates: u64,
+    /// Iterations that reused stale factor averages because the factor
+    /// allreduce failed or returned a corrupted payload.
+    stale_factor_steps: u64,
+    /// Factors that fell back to the damped-identity second-order state
+    /// (eigendecomposition failure or corrupted gathered payload).
+    eig_fallbacks: u64,
+    /// Layers preconditioned with the implicit identity because no
+    /// second-order state was available yet (atomic: counted from the
+    /// read-only preconditioning path).
+    identity_preconds: std::sync::atomic::AtomicU64,
 }
 
 impl Kfac {
@@ -95,6 +123,9 @@ impl Kfac {
             telemetry: kfac_telemetry::current(),
             factor_updates: 0,
             eig_updates: 0,
+            stale_factor_steps: 0,
+            eig_fallbacks: 0,
+            identity_preconds: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -119,6 +150,11 @@ impl Kfac {
         stats.factor_updates = self.factor_updates;
         stats.eig_updates = self.eig_updates;
         stats.steps = self.iteration;
+        stats.stale_factor_steps = self.stale_factor_steps;
+        stats.eig_fallbacks = self.eig_fallbacks;
+        stats.identity_preconds = self
+            .identity_preconds
+            .load(std::sync::atomic::Ordering::Relaxed);
         if let Some((registry, rank)) = &self.telemetry {
             // Spans publish in batches; push this thread's tail so the
             // view is exact at the moment of the snapshot.
@@ -320,20 +356,91 @@ impl Kfac {
         self.factor_updates += 1;
     }
 
+    /// Validated variant of [`Kfac::factor_unpack`]: installs the
+    /// allreduced payload only if every element is finite and sane.
+    /// Returns `false` — leaving the running averages untouched (stale
+    /// but self-consistent) and counting a stale step — when the payload
+    /// was corrupted in flight.
+    pub fn factor_unpack_checked(&mut self, fused: &[f32]) -> bool {
+        // Bit-flip corruption in the exponent shows up as non-finite or
+        // absurdly large magnitudes; factor entries are batch-averaged
+        // second moments and never legitimately reach 1e30.
+        if fused.iter().all(|v| v.is_finite() && v.abs() < 1e30) {
+            self.factor_unpack(fused);
+            true
+        } else {
+            self.note_stale_factor();
+            false
+        }
+    }
+
+    /// Record that this iteration kept its previous factor averages
+    /// because the factor exchange failed (timeout, rank trouble, or a
+    /// corrupted payload). Reusing stale factors is the same mechanism
+    /// as the decoupled update schedule — just triggered by a fault
+    /// instead of the interval.
+    pub fn note_stale_factor(&mut self) {
+        self.stale_factor_steps += 1;
+        if let Some((registry, _)) = &self.telemetry {
+            registry.counter("kfac/stale_factor_steps").inc();
+        }
+    }
+
+    /// The damped-identity second-order state for factor `id`: the
+    /// wire-compatible stand-in used when a decomposition fails or a
+    /// gathered payload is corrupted. An identity eigenbasis with unit
+    /// eigenvalues preconditions the layer with `1/(1+γ)` — plain
+    /// (damped) SGD — instead of poisoning the update.
+    fn identity_second_order(&self, id: usize) -> FactorSecondOrder {
+        let n = self.factors[id].dim;
+        match self.cfg.inversion {
+            InversionMethod::Eigen => FactorSecondOrder::Eigen(EigenDecomposition {
+                eigenvalues: vec![1.0; n],
+                eigenvectors: Matrix::identity(n),
+            }),
+            InversionMethod::ExplicitInverse => {
+                let mut m = Matrix::identity(n);
+                m.scale(1.0 / (1.0 + self.damping));
+                FactorSecondOrder::Inverse(m)
+            }
+        }
+    }
+
+    /// Record one damped-identity fallback (statistics + telemetry).
+    fn note_eig_fallback(&mut self) {
+        self.eig_fallbacks += 1;
+        if let Some((registry, _)) = &self.telemetry {
+            registry.counter("kfac/eig_fallbacks").inc();
+        }
+    }
+
     /// Compute the second-order representation (eig or inverse) of one
-    /// factor from its running average.
-    fn compute_second_order(&self, id: usize) -> FactorSecondOrder {
+    /// factor from its running average. A failed or non-finite
+    /// decomposition degrades to the damped identity instead of
+    /// panicking; the fallback is counted in `kfac/eig_fallbacks`.
+    fn compute_second_order(&mut self, id: usize) -> FactorSecondOrder {
         let avg = self.averages[id]
             .as_ref()
             .expect("factor average exists before second-order update");
-        match self.cfg.inversion {
-            InversionMethod::Eigen => FactorSecondOrder::Eigen(
-                decompose_factor_with(avg, self.cfg.eigen_solver)
-                    .expect("factor eigendecomposition converges"),
-            ),
-            InversionMethod::ExplicitInverse => FactorSecondOrder::Inverse(
-                invert_factor(avg, self.damping).expect("damped factor is invertible"),
-            ),
+        let so = match self.cfg.inversion {
+            InversionMethod::Eigen => decompose_factor_with(avg, self.cfg.eigen_solver)
+                .ok()
+                .filter(|e| {
+                    e.eigenvalues.iter().all(|v| v.is_finite())
+                        && e.eigenvectors.as_slice().iter().all(|v| v.is_finite())
+                })
+                .map(FactorSecondOrder::Eigen),
+            InversionMethod::ExplicitInverse => invert_factor(avg, self.damping)
+                .ok()
+                .filter(|m| m.as_slice().iter().all(|v| v.is_finite()))
+                .map(FactorSecondOrder::Inverse),
+        };
+        match so {
+            Some(so) => so,
+            None => {
+                self.note_eig_fallback();
+                self.identity_second_order(id)
+            }
         }
     }
 
@@ -354,7 +461,14 @@ impl Kfac {
         }
     }
 
-    fn decode_second_order(&self, id: usize, data: &[f32]) -> FactorSecondOrder {
+    /// Decode one factor's wire payload. A payload carrying non-finite
+    /// values (silent corruption in flight) degrades to the damped
+    /// identity rather than installing poison into the preconditioner.
+    fn decode_second_order(&mut self, id: usize, data: &[f32]) -> FactorSecondOrder {
+        if !data.iter().all(|v| v.is_finite()) {
+            self.note_eig_fallback();
+            return self.identity_second_order(id);
+        }
         let n = self.factors[id].dim;
         match self.cfg.inversion {
             InversionMethod::Eigen => {
@@ -426,18 +540,21 @@ impl Kfac {
     /// second-order state. Walks factors in id order, consuming each
     /// owner's payload sequentially (the deterministic-assignment
     /// property makes the framing implicit).
+    // Index loop: `decode_second_order` needs `&mut self`, which rules
+    // out iterating `self.factors` directly.
+    #[allow(clippy::needless_range_loop)]
     pub fn eig_apply_gathered(&mut self, assignment: &[usize], rank: usize, gathered: &[Vec<f32>]) {
         let mut offsets = vec![0usize; gathered.len()];
-        for f in &self.factors {
-            let owner = assignment[f.id];
-            let len = self.wire_len(f.id);
+        for fid in 0..self.factors.len() {
+            let owner = assignment[fid];
+            let len = self.wire_len(fid);
             let start = offsets[owner];
             offsets[owner] += len;
             if owner == rank {
                 continue; // already stored locally
             }
             let data = &gathered[owner][start..start + len];
-            self.second_order[f.id] = self.decode_second_order(f.id, data);
+            self.second_order[fid] = self.decode_second_order(fid, data);
         }
     }
 
@@ -445,6 +562,43 @@ impl Kfac {
     /// only).
     pub fn note_eig_update(&mut self) {
         self.eig_updates += 1;
+    }
+
+    /// Staged second-order update, step 1: compute this rank's owned
+    /// decompositions and serialize them — **without storing anything**.
+    /// Paired with [`Kfac::eig_apply_all`], which installs every rank's
+    /// results (including this rank's own, decoded from its payload)
+    /// only after the allgather has succeeded. If the exchange fails,
+    /// no rank has mutated `second_order`, so the whole group stays
+    /// identically stale — the property the resilient trainer needs.
+    pub fn eig_compute_payload(&mut self, assignment: &[usize], rank: usize) -> Vec<f32> {
+        let mine: Vec<usize> = (0..self.factors.len())
+            .filter(|&id| assignment[id] == rank)
+            .collect();
+        let mut payload = Vec::new();
+        for id in mine {
+            let so = self.compute_second_order(id);
+            self.encode_second_order(&so, &mut payload);
+        }
+        payload
+    }
+
+    /// Staged second-order update, step 2: decode every owner's
+    /// gathered payload — own rank included — into local second-order
+    /// state. Decoding one's own payload is bitwise-neutral
+    /// (`decode(encode(x)) == x`: both sides are plain `f32` copies),
+    /// so the staged path matches [`Kfac::eig_apply_gathered`] exactly.
+    #[allow(clippy::needless_range_loop)]
+    pub fn eig_apply_all(&mut self, assignment: &[usize], gathered: &[Vec<f32>]) {
+        let mut offsets = vec![0usize; gathered.len()];
+        for fid in 0..self.factors.len() {
+            let owner = assignment[fid];
+            let len = self.wire_len(fid);
+            let start = offsets[owner];
+            offsets[owner] += len;
+            let data = &gathered[owner][start..start + len];
+            self.second_order[fid] = self.decode_second_order(fid, data);
+        }
     }
 
     /// K-FAC-lw second-order update: each layer's owner computes both of
@@ -489,7 +643,20 @@ impl Kfac {
                 },
                 grad,
             ),
-            _ => unreachable!("second-order state missing for layer {li}"),
+            // No (or partial) second-order state — a failed first
+            // eigendecomposition exchange can leave a layer without any.
+            // Degrade to the damped identity: `grad / (1 + γ)`, i.e.
+            // damped SGD for this layer, and count it.
+            _ => {
+                self.identity_preconds
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if let Some((registry, _)) = &self.telemetry {
+                    registry.counter("kfac/identity_preconds").inc();
+                }
+                let mut pg = grad.clone();
+                pg.scale(1.0 / (1.0 + self.damping));
+                pg
+            }
         }
     }
 
@@ -577,5 +744,144 @@ impl Kfac {
                 layer.set_grad_matrix(pg);
             }
         }
+    }
+
+    /// Serialize the complete optimizer state — iteration counters,
+    /// schedules, running-average factors and second-order state — into
+    /// a self-describing little-endian byte stream. Restoring the bytes
+    /// with [`Kfac::restore_state`] on an identically-configured
+    /// instance reproduces continued training bitwise, which is what
+    /// checkpoint-based rank-loss recovery requires.
+    pub fn save_state(&self) -> Vec<u8> {
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+            for v in vs {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(b"KFAC");
+        put_u64(&mut out, 1); // format version
+        put_u64(&mut out, self.iteration);
+        put_u64(&mut out, self.epoch as u64);
+        out.extend_from_slice(&self.damping.to_le_bytes());
+        put_u64(&mut out, self.update_freq as u64);
+        put_u64(&mut out, self.factor_updates);
+        put_u64(&mut out, self.eig_updates);
+        put_u64(&mut out, self.stale_factor_steps);
+        put_u64(&mut out, self.eig_fallbacks);
+        put_u64(
+            &mut out,
+            self.identity_preconds
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+        put_u64(&mut out, self.factors.len() as u64);
+        for avg in &self.averages {
+            match avg {
+                Some(m) => {
+                    out.push(1);
+                    put_f32s(&mut out, m.as_slice());
+                }
+                None => out.push(0),
+            }
+        }
+        for so in &self.second_order {
+            match so {
+                FactorSecondOrder::None => out.push(0),
+                FactorSecondOrder::Eigen(e) => {
+                    out.push(1);
+                    put_f32s(&mut out, &e.to_bytes_f32());
+                }
+                FactorSecondOrder::Inverse(m) => {
+                    out.push(2);
+                    put_f32s(&mut out, m.as_slice());
+                }
+            }
+        }
+        out
+    }
+
+    /// Restore state captured by [`Kfac::save_state`]. The instance
+    /// must have been built from the same model shape and config
+    /// (factor inventory must match). Errors on malformed or
+    /// mismatched bytes, leaving `self` unspecified only in the
+    /// already-consumed scalar fields.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        struct Reader<'a>(&'a [u8]);
+        impl Reader<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], String> {
+                if self.0.len() < n {
+                    return Err("kfac state truncated".into());
+                }
+                let (head, tail) = self.0.split_at(n);
+                self.0 = tail;
+                Ok(head)
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn f32(&mut self) -> Result<f32, String> {
+                Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
+                let raw = self.take(4 * n)?;
+                Ok(raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect())
+            }
+            fn u8(&mut self) -> Result<u8, String> {
+                Ok(self.take(1)?[0])
+            }
+        }
+        let mut r = Reader(bytes);
+        if r.take(4)? != b"KFAC" {
+            return Err("not a kfac state blob".into());
+        }
+        if r.u64()? != 1 {
+            return Err("unsupported kfac state version".into());
+        }
+        self.iteration = r.u64()?;
+        self.epoch = r.u64()? as usize;
+        self.damping = r.f32()?;
+        self.update_freq = r.u64()? as usize;
+        self.factor_updates = r.u64()?;
+        self.eig_updates = r.u64()?;
+        self.stale_factor_steps = r.u64()?;
+        self.eig_fallbacks = r.u64()?;
+        self.identity_preconds = std::sync::atomic::AtomicU64::new(r.u64()?);
+        let n_factors = r.u64()? as usize;
+        if n_factors != self.factors.len() {
+            return Err(format!(
+                "kfac state has {n_factors} factors, model has {}",
+                self.factors.len()
+            ));
+        }
+        for id in 0..n_factors {
+            let n = self.factors[id].dim;
+            self.averages[id] = match r.u8()? {
+                0 => None,
+                1 => Some(Matrix::from_vec(n, n, r.f32s(n * n)?)),
+                t => return Err(format!("bad average tag {t}")),
+            };
+        }
+        for id in 0..n_factors {
+            let n = self.factors[id].dim;
+            self.second_order[id] = match r.u8()? {
+                0 => FactorSecondOrder::None,
+                1 => FactorSecondOrder::Eigen(EigenDecomposition::from_bytes_f32(
+                    n,
+                    &r.f32s(EigenDecomposition::wire_len(n))?,
+                )),
+                2 => FactorSecondOrder::Inverse(Matrix::from_vec(n, n, r.f32s(n * n)?)),
+                t => return Err(format!("bad second-order tag {t}")),
+            };
+        }
+        if !r.0.is_empty() {
+            return Err("trailing bytes in kfac state".into());
+        }
+        Ok(())
     }
 }

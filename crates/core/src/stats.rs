@@ -27,6 +27,15 @@ pub struct StageStats {
     pub eig_updates: u64,
     /// Total preconditioned iterations.
     pub steps: u64,
+    /// Iterations that reused stale factor averages after a failed or
+    /// corrupted factor exchange (graceful degradation, not schedule).
+    pub stale_factor_steps: u64,
+    /// Factors degraded to the damped-identity second-order state
+    /// (eigendecomposition failure or corrupted payload).
+    pub eig_fallbacks: u64,
+    /// Layer preconditionings that ran with no second-order state at
+    /// all (implicit damped identity).
+    pub identity_preconds: u64,
 }
 
 impl StageStats {
@@ -81,6 +90,9 @@ impl StageStats {
         self.factor_updates += other.factor_updates;
         self.eig_updates += other.eig_updates;
         self.steps += other.steps;
+        self.stale_factor_steps += other.stale_factor_steps;
+        self.eig_fallbacks += other.eig_fallbacks;
+        self.identity_preconds += other.identity_preconds;
     }
 }
 

@@ -4,7 +4,7 @@
 use kfac::{Kfac, KfacConfig};
 use kfac_collectives::LocalComm;
 use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Linear, Sequential};
-use kfac_tensor::{Rng64, Tensor4};
+use kfac_tensor::{Matrix, Rng64, Tensor4};
 
 fn model() -> Sequential {
     let mut rng = Rng64::new(1);
@@ -87,6 +87,92 @@ fn stale_steps_never_panic_without_capture() {
         fwd_bwd(&mut m, kfac.needs_capture());
         kfac.step(&mut m, &comm, 0.1);
     }
+}
+
+#[test]
+fn corrupted_factor_payload_leaves_averages_stale() {
+    let mut m = model();
+    let mut kfac = Kfac::new(&mut m, KfacConfig::default());
+    let comm = LocalComm::new();
+    fwd_bwd(&mut m, true);
+    kfac.step(&mut m, &comm, 0.1);
+    let clean = kfac.factor_pack();
+    // A corrupted payload is rejected; the previous averages survive.
+    let mut poisoned = clean.clone();
+    poisoned[0] = f32::NAN;
+    assert!(!kfac.factor_unpack_checked(&poisoned));
+    assert_eq!(
+        kfac.factor_pack(),
+        clean,
+        "averages mutated by rejected payload"
+    );
+    assert_eq!(kfac.stats().stale_factor_steps, 1);
+    // The same payload, clean, installs fine.
+    assert!(kfac.factor_unpack_checked(&clean));
+    assert_eq!(kfac.stats().stale_factor_steps, 1);
+}
+
+#[test]
+fn missing_second_order_degrades_to_damped_identity() {
+    let mut m = model();
+    let damping = 0.03f32;
+    let kfac = Kfac::new(
+        &mut m,
+        KfacConfig {
+            damping,
+            ..KfacConfig::default()
+        },
+    );
+    // No eig update has run: second-order state is absent. The layer
+    // must still precondition — with the damped identity.
+    let grad = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32 - 5.5).collect());
+    let pg = kfac.precondition_one(0, &grad);
+    for (g, p) in grad.as_slice().iter().zip(pg.as_slice()) {
+        assert_eq!(p.to_bits(), (g / (1.0 + damping)).to_bits());
+    }
+    assert_eq!(kfac.stats().identity_preconds, 1);
+}
+
+#[test]
+fn staged_eig_path_is_bitwise_neutral() {
+    let mut m = model();
+    let mut kfac = Kfac::new(&mut m, KfacConfig::default());
+    let comm = LocalComm::new();
+    fwd_bwd(&mut m, true);
+    kfac.step(&mut m, &comm, 0.1); // direct path stored second-order state
+                                   // Linear(4→3, bias): A is (in+1)=5, G is 3, grad is 3×5.
+    let grad = Matrix::from_vec(3, 5, (0..15).map(|i| (i as f32).sin()).collect());
+    let direct = kfac.precondition_one(0, &grad);
+    // Staged path: recompute + serialize + apply (own payload decoded
+    // too). Must reproduce the direct path bit-for-bit.
+    let assignment = kfac.eig_assignment(1);
+    let payload = kfac.eig_compute_payload(&assignment, 0);
+    kfac.eig_apply_all(&assignment, &[payload]);
+    let staged = kfac.precondition_one(0, &grad);
+    for (a, b) in direct.as_slice().iter().zip(staged.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(kfac.stats().eig_fallbacks, 0);
+}
+
+#[test]
+fn state_roundtrip_is_identical() {
+    let mut m = model();
+    let mut kfac = Kfac::new(&mut m, KfacConfig::default());
+    let comm = LocalComm::new();
+    for _ in 0..3 {
+        fwd_bwd(&mut m, kfac.needs_capture());
+        kfac.step(&mut m, &comm, 0.1);
+    }
+    let saved = kfac.save_state();
+    let mut m2 = model();
+    let mut restored = Kfac::new(&mut m2, KfacConfig::default());
+    restored.restore_state(&saved).unwrap();
+    assert_eq!(restored.save_state(), saved, "save→restore→save drifted");
+    assert_eq!(restored.iteration(), kfac.iteration());
+    // Garbage is rejected, not installed.
+    assert!(restored.restore_state(b"JUNKJUNKJUNK").is_err());
+    assert!(restored.restore_state(&saved[..saved.len() - 2]).is_err());
 }
 
 #[test]

@@ -26,6 +26,7 @@
 use crate::graph::{TaskGraph, Work};
 use crate::queue::ReadyQueue;
 use crate::task::{Lane, TaskId, TaskKind};
+use kfac_collectives::CollectiveError;
 use kfac_telemetry::{Registry, Span, SpanEvent};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
@@ -87,10 +88,20 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Summary of a completed run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// A run *completes* (returns `Ok`) even when individual nodes fail:
+/// failed nodes are recorded here and their transitive dependents are
+/// poisoned (skipped), but the rest of the graph drains normally.
+/// `executed + failed.len() + poisoned` always equals the graph size.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecReport {
-    /// Number of tasks executed (the whole graph on success).
+    /// Tasks that ran to successful completion.
     pub executed: usize,
+    /// Tasks whose work returned a collective error (or externals
+    /// failed via [`ExecCtl::fail`]), with the error each surfaced.
+    pub failed: Vec<(TaskId, CollectiveError)>,
+    /// Tasks skipped because a transitive dependency failed.
+    pub poisoned: usize,
 }
 
 /// Lane names for spawned compute workers (worker 0 is the caller and
@@ -114,16 +125,32 @@ struct State {
     remaining: usize,
     active: usize,
     stalled: bool,
+    failed: Vec<(usize, CollectiveError)>,
+    poisoned: usize,
 }
 
 impl State {
-    fn comm_has_ready(&self) -> bool {
+    /// Whether the comm worker has a runnable task at its cursor.
+    /// Poisoned (completed-without-running) comm tasks are skipped, so
+    /// a failure upstream of one comm op can never wedge the cursor and
+    /// starve later, independent comm ops.
+    fn comm_has_ready(&mut self) -> bool {
+        while self.next_comm < self.comm_order.len()
+            && self.completed[self.comm_order[self.next_comm]]
+        {
+            self.next_comm += 1;
+        }
         self.next_comm < self.comm_order.len() && self.deps_done[self.comm_order[self.next_comm]]
     }
 
     /// Dependencies of `id` are all complete: queue it, or — for an
     /// already-signaled external — push it onto the completion stack.
     fn now_ready(&mut self, id: usize, stack: &mut Vec<usize>) {
+        if self.completed[id] {
+            // Poisoned earlier by a failed sibling dependency; its last
+            // live dependency completing must not resurrect it.
+            return;
+        }
         self.deps_done[id] = true;
         if self.external[id] {
             if self.signaled[id] {
@@ -169,6 +196,29 @@ impl State {
             self.complete(id);
         }
     }
+
+    /// Record `id` as failed and poison its transitive dependents:
+    /// every one is marked done *without running*, so the graph drains
+    /// instead of deadlocking on completions that will never come.
+    /// Unrelated branches are untouched and still execute.
+    fn fail(&mut self, id: usize, err: CollectiveError) {
+        if self.completed[id] {
+            return;
+        }
+        self.failed.push((id, err));
+        self.completed[id] = true;
+        self.remaining -= 1;
+        let mut stack: Vec<usize> = self.dependents[id].clone();
+        while let Some(d) = stack.pop() {
+            if self.completed[d] {
+                continue;
+            }
+            self.completed[d] = true;
+            self.remaining -= 1;
+            self.poisoned += 1;
+            stack.extend(self.dependents[d].iter().copied());
+        }
+    }
 }
 
 struct Inner {
@@ -194,6 +244,23 @@ impl ExecCtl<'_> {
             return Err(ExecError::NotExternal(id));
         }
         st.signal(id.0);
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// Signal external task `id` as *failed* — the collective backing
+    /// it errored out. The node is recorded in
+    /// [`ExecReport::failed`] and its transitive dependents are
+    /// poisoned, so the rest of the graph drains without hanging on a
+    /// completion that will never arrive. Errors if `id` is not an
+    /// external node; failing an already-completed node is a no-op.
+    pub fn fail(&self, id: TaskId, err: CollectiveError) -> Result<(), ExecError> {
+        let mut st = self.inner.state.lock();
+        if !st.external[id.0] {
+            return Err(ExecError::NotExternal(id));
+        }
+        st.fail(id.0, err);
         drop(st);
         self.inner.cv.notify_all();
         Ok(())
@@ -227,7 +294,25 @@ fn record_ready(
     });
 }
 
-/// Run one picked task outside the lock, then complete it.
+/// Drop guard arming worker shutdown on *any* panic that escapes
+/// [`execute_picked`] — including panics outside the `catch_unwind`
+/// around the task body (e.g. the work-cell `expect` below). Without
+/// it, an unwinding worker would leave its siblings parked on the
+/// condvar forever, waiting for a completion that will never come.
+struct StallGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for StallGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.inner.state.lock().stalled = true;
+            self.inner.cv.notify_all();
+        }
+    }
+}
+
+/// Run one picked task outside the lock, then complete (or fail) it.
 fn execute_picked(
     inner: &Inner,
     works: &Mutex<Vec<Option<Work<'_>>>>,
@@ -237,6 +322,7 @@ fn execute_picked(
     kind: TaskKind,
     ready_since: Option<Instant>,
 ) {
+    let _stall = StallGuard { inner };
     record_ready(inner, telem, lane, kind, ready_since);
     let work = works.lock()[id].take().expect("task work taken twice");
     let Work::Run(f) = work else {
@@ -247,20 +333,17 @@ fn execute_picked(
         let _span = Span::enter("exec/run")
             .with("task", kind.label())
             .with("id", id);
-        f(&ctl);
+        f(&ctl)
     }));
     let mut st = inner.state.lock();
     st.active -= 1;
     match result {
-        Ok(()) => st.complete(id),
-        Err(payload) => {
-            // Unblock every worker before propagating, or they'd wait
-            // forever on a completion that will never come.
-            st.stalled = true;
-            drop(st);
-            inner.cv.notify_all();
-            resume_unwind(payload);
-        }
+        Ok(Ok(())) => st.complete(id),
+        Ok(Err(e)) => st.fail(id, e),
+        // `StallGuard` marks the run stalled and wakes every worker as
+        // the unwind passes through; `st` unlocks first (it was
+        // declared later, so it drops earlier).
+        Err(payload) => resume_unwind(payload),
     }
     drop(st);
     inner.cv.notify_all();
@@ -445,6 +528,8 @@ impl Executor {
             remaining: n,
             active: 0,
             stalled: false,
+            failed: Vec::new(),
+            poisoned: 0,
         };
         // Seed the ready set with zero-dependency nodes.
         let mut stack = Vec::new();
@@ -483,14 +568,21 @@ impl Executor {
             }
         }
 
-        let st = inner.state.lock();
+        let mut st = inner.state.lock();
         if st.remaining > 0 {
             Err(ExecError::Stalled {
                 completed: n - st.remaining,
                 remaining: st.remaining,
             })
         } else {
-            Ok(ExecReport { executed: n })
+            let failed: Vec<(TaskId, CollectiveError)> =
+                st.failed.drain(..).map(|(id, e)| (TaskId(id), e)).collect();
+            let poisoned = st.poisoned;
+            Ok(ExecReport {
+                executed: n - failed.len() - poisoned,
+                failed,
+                poisoned,
+            })
         }
     }
 }

@@ -11,10 +11,16 @@
 
 use crate::executor::ExecCtl;
 use crate::task::{Lane, TaskId, TaskKind};
+use kfac_collectives::CollectiveError;
+
+/// Boxed task body: `Err` marks the node failed and poisons its
+/// transitive dependents.
+pub(crate) type TaskFn<'w> = Box<dyn FnOnce(&ExecCtl) -> Result<(), CollectiveError> + Send + 'w>;
 
 pub(crate) enum Work<'w> {
-    /// Run this closure on a worker.
-    Run(Box<dyn FnOnce(&ExecCtl) + Send + 'w>),
+    /// Run this closure on a worker. An `Err` marks the node failed and
+    /// poisons its transitive dependents instead of running them.
+    Run(TaskFn<'w>),
     /// No work: completes when signaled via `ExecCtl::complete` (and
     /// all dependencies, if any, are done).
     External,
@@ -64,6 +70,26 @@ impl<'w> TaskGraph<'w> {
         kind: TaskKind,
         deps: &[TaskId],
         f: impl FnOnce(&ExecCtl) + Send + 'w,
+    ) -> TaskId {
+        self.push(
+            kind,
+            deps,
+            Work::Run(Box::new(move |ctl| {
+                f(ctl);
+                Ok(())
+            })),
+        )
+    }
+
+    /// Add a task whose work can fail. On `Err` the node is recorded in
+    /// [`ExecReport::failed`](crate::ExecReport) and every transitive
+    /// dependent is *poisoned* — marked done without running — so the
+    /// rest of the graph still drains and the run never hangs.
+    pub fn add_fallible(
+        &mut self,
+        kind: TaskKind,
+        deps: &[TaskId],
+        f: impl FnOnce(&ExecCtl) -> Result<(), CollectiveError> + Send + 'w,
     ) -> TaskId {
         self.push(kind, deps, Work::Run(Box::new(f)))
     }

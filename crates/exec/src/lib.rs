@@ -28,6 +28,14 @@
 //!   (`kfac-collectives`), so the ready queue agrees with the network
 //!   about what is urgent: gradient buckets preempt deferrable factor
 //!   traffic.
+//! * Failure containment — fallible nodes
+//!   ([`TaskGraph::add_fallible`], [`ExecCtl::fail`]) surface
+//!   `CollectiveError`s as node outcomes: a failed node *poisons* its
+//!   transitive dependents (they are skipped, never run) while
+//!   unrelated branches drain normally, so a timed-out collective can
+//!   degrade an iteration without deadlocking the worker pool. The
+//!   outcome is reported in [`ExecReport::failed`] /
+//!   [`ExecReport::poisoned`].
 //!
 //! ```
 //! use kfac_exec::{ExecMode, Executor, TaskGraph, TaskKind};
@@ -190,6 +198,88 @@ mod tests {
         );
         let readies = events.iter().filter(|e| e.name == "exec/ready").count();
         assert_eq!(readies, 2);
+    }
+
+    /// A failed comm node must poison its transitive dependents —
+    /// including a *later comm task in cursor order* — while unrelated
+    /// branches still execute and the run drains without hanging.
+    #[test]
+    fn failed_node_poisons_dependents_but_not_siblings() {
+        use kfac_collectives::CollectiveError;
+        for mode in [
+            ExecMode::Replay { seed: 3 },
+            ExecMode::Overlapped { compute_workers: 2 },
+        ] {
+            let ran = Mutex::new(Vec::new());
+            let mut g = TaskGraph::new();
+            let a = g.add_fallible(TaskKind::GradAllreduce(0), &[], |_| {
+                Err(CollectiveError::Timeout { waited_ms: 5 })
+            });
+            let b = g.add(TaskKind::EigenAllgather, &[a], |_| ran.lock().push("b"));
+            g.add(TaskKind::OptimStep, &[b], |_| ran.lock().push("c"));
+            // Independent comm task AFTER the poisoned one in cursor
+            // order: the comm worker must skip past `b` to reach it.
+            g.add(TaskKind::GradAllreduce(1), &[], |_| ran.lock().push("d"));
+            g.add(TaskKind::Forward, &[], |_| ran.lock().push("e"));
+            let report = Executor::run(g, mode).unwrap();
+            assert_eq!(report.executed, 2, "{mode:?}");
+            assert_eq!(report.poisoned, 2, "{mode:?}");
+            assert_eq!(
+                report.failed,
+                vec![(a, CollectiveError::Timeout { waited_ms: 5 })]
+            );
+            let mut names = ran.into_inner();
+            names.sort_unstable();
+            assert_eq!(names, vec!["d", "e"], "{mode:?}");
+        }
+    }
+
+    /// An external comm node failed via `ExecCtl::fail` mid-task
+    /// poisons its dependents; the rest of the graph completes.
+    #[test]
+    fn external_failure_poisons_dependents_and_drains() {
+        use kfac_collectives::CollectiveError;
+        let ran = Mutex::new(Vec::new());
+        let mut g = TaskGraph::new();
+        let ext = g.add_external(TaskKind::Backward(0), &[]);
+        let sweep = g.add(TaskKind::Custom("sweep"), &[], |ctl| {
+            ctl.fail(ext, CollectiveError::RankFailed(2)).unwrap();
+        });
+        g.add(TaskKind::GradAllreduce(0), &[ext], |_| {
+            ran.lock().push("dep")
+        });
+        g.add(TaskKind::OptimStep, &[sweep], |_| ran.lock().push("opt"));
+        let report = Executor::run(g, ExecMode::Overlapped { compute_workers: 2 }).unwrap();
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.poisoned, 1);
+        assert_eq!(report.failed, vec![(ext, CollectiveError::RankFailed(2))]);
+        assert_eq!(ran.into_inner(), vec!["opt"]);
+    }
+
+    #[test]
+    fn fail_on_regular_task_errors() {
+        use kfac_collectives::CollectiveError;
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Forward, &[], |_| {});
+        let captured = Mutex::new(None);
+        g.add(TaskKind::Custom("bad"), &[a], |ctl| {
+            *captured.lock() = Some(ctl.fail(a, CollectiveError::Corrupted));
+        });
+        Executor::run(g, ExecMode::Replay { seed: 0 }).unwrap();
+        assert_eq!(captured.into_inner(), Some(Err(ExecError::NotExternal(a))));
+    }
+
+    /// A panicking task must terminate the whole pool (workers wake,
+    /// drain, and the panic propagates) instead of leaving siblings
+    /// parked on the condvar forever.
+    #[test]
+    #[should_panic]
+    fn panicking_task_propagates_instead_of_hanging() {
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Forward, &[], |_| panic!("task body exploded"));
+        g.add(TaskKind::OptimStep, &[a], |_| {});
+        g.add(TaskKind::GradAllreduce(0), &[], |_| {});
+        let _ = Executor::run(g, ExecMode::Overlapped { compute_workers: 4 });
     }
 
     /// Seeded replays of a graph whose tasks fold into an order-dependent

@@ -1,0 +1,472 @@
+//! Chaos experiment (`xp chaos`) — 4-rank CIFAR K-FAC training under a
+//! seeded fault matrix.
+//!
+//! One scenario per fault kind the collectives layer can inject
+//! (straggler delays, transient outages, long timeouts, bit-flip
+//! corruption, permanent rank loss), each run through
+//! [`ResilientTrainer`] against the same model / data / seed as a
+//! fault-free baseline. The driver *asserts* the degradation contract:
+//!
+//! * every scenario finishes — bounded deadlines and the degradation
+//!   ladder mean no fault can hang the group (a wall-clock watchdog
+//!   backs this up);
+//! * losses stay finite and within a tolerance band of the baseline;
+//! * faults that cannot change the math (delays; transients healed by
+//!   retry) leave the final parameters **bitwise identical**;
+//! * faults that degrade (timeouts on K-FAC traffic, corruption) show
+//!   up in the right counters: stale factor steps, skipped steps;
+//! * rank loss aborts cleanly and training resumes from the latest
+//!   checkpoint to complete the full iteration budget.
+
+use crate::experiments::ExperimentOutput;
+use crate::report::Table;
+use crate::resilient::{FaultTolerance, ResilientTrainer, StepOutcome};
+use crate::{checkpoint, presets::Scale};
+use kfac::{Kfac, KfacConfig};
+use kfac_collectives::{
+    Communicator, FaultPlan, FaultPlanConfig, FaultyCommunicator, RetryPolicy, ThreadComm,
+    TrafficClass,
+};
+use kfac_data::{batch_of, synthetic_cifar, Dataset, ShardedSampler};
+use kfac_nn::{resnet::resnet_cifar, CrossEntropyLoss, Layer, Sequential};
+use kfac_optim::Sgd;
+use kfac_tensor::Rng64;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const RANKS: usize = 4;
+const LOCAL_BATCH: usize = 4;
+const MODEL_SEED: u64 = 3;
+const DATA_SEED: u64 = 11;
+const LR: f32 = 0.02;
+
+fn build_model() -> Sequential {
+    let mut rng = Rng64::new(MODEL_SEED);
+    resnet_cifar(1, 4, 10, 3, &mut rng)
+}
+
+fn build_kfac(model: &mut Sequential) -> Kfac {
+    Kfac::new(
+        model,
+        KfacConfig {
+            update_freq: 2,
+            damping: 0.003,
+            ..KfacConfig::default()
+        },
+    )
+}
+
+/// Per-rank batch index sequence covering `iters` iterations, plus the
+/// epoch variant used for augmentation, indexed by global iteration.
+fn batch_plan(ds_len: usize, rank: usize, iters: usize) -> Vec<(Vec<usize>, u64)> {
+    let sampler = ShardedSampler::new(ds_len, RANKS, rank, LOCAL_BATCH, DATA_SEED ^ 0x5a5a);
+    let mut plan = Vec::with_capacity(iters);
+    let mut epoch = 0usize;
+    while plan.len() < iters {
+        for indices in sampler.epoch_batches(epoch) {
+            plan.push((indices, epoch as u64 + 1));
+            if plan.len() == iters {
+                break;
+            }
+        }
+        epoch += 1;
+    }
+    plan
+}
+
+/// What one scenario produced (rank 0's view; replicas are identical).
+struct ScenarioResult {
+    final_loss: f64,
+    params: Vec<f32>,
+    skipped: u64,
+    comm_faults: u64,
+    stale_factor_steps: u64,
+    eig_fallbacks: u64,
+    identity_preconds: u64,
+    resumed: bool,
+}
+
+/// Run `iters` resilient iterations on 4 ranks under `plan` (None =
+/// fault-free). If the group aborts with a rank loss, every rank
+/// restores the latest checkpoint and finishes the budget on a fresh
+/// fault-free group — the recovery drill the checkpoint exists for.
+fn run_scenario(
+    iters: usize,
+    plan: Option<Arc<FaultPlan>>,
+    ft: FaultTolerance,
+    train_ds: &(dyn Dataset + Sync),
+) -> ScenarioResult {
+    let faulty_comms = ThreadComm::create(RANKS);
+    let recovery_comms = ThreadComm::create(RANKS);
+    let plan = &plan;
+    let ft = &ft;
+    let results: Vec<ScenarioResult> = thread::scope(|s| {
+        let handles: Vec<_> = faulty_comms
+            .into_iter()
+            .zip(recovery_comms)
+            .enumerate()
+            .map(|(rank, (comm, recovery))| {
+                s.spawn(move || {
+                    let batches = batch_plan(train_ds.len(), rank, iters);
+                    let mut model = build_model();
+                    let mut optimizer = Sgd::new(0.9, 1e-4);
+                    let mut kfac = Some(build_kfac(&mut model));
+                    let criterion = CrossEntropyLoss::new();
+                    let mut tr = ResilientTrainer::new(*ft);
+                    let mut losses = Vec::with_capacity(iters);
+                    let mut resumed = false;
+                    // One wrapper for the whole run: the fault plan is
+                    // indexed by a cursor that must advance across
+                    // iterations for windows to land as scheduled.
+                    let comm: Box<dyn Communicator> = match plan {
+                        Some(p) => Box::new(FaultyCommunicator::new(comm, Arc::clone(p))),
+                        None => Box::new(comm),
+                    };
+
+                    let mut i = 0usize;
+                    while i < iters {
+                        let (indices, variant) = &batches[i];
+                        let (x, labels) = batch_of(train_ds, indices, *variant);
+                        let outcome = tr.step(
+                            &mut model,
+                            &mut kfac,
+                            &mut optimizer,
+                            &*comm,
+                            &x,
+                            &labels,
+                            &criterion,
+                            LR,
+                        );
+                        match outcome {
+                            (loss, StepOutcome::RankLost(_)) => {
+                                losses.push(loss as f64);
+                                // Recovery drill: restore the latest
+                                // checkpoint into fresh instances and
+                                // finish on the clean replacement group.
+                                let blob = tr
+                                    .latest_checkpoint()
+                                    .expect("rank loss before first checkpoint")
+                                    .to_vec();
+                                let mut m2 = build_model();
+                                let mut opt2 = Sgd::new(0.9, 1e-4);
+                                let mut k2 = Some(build_kfac(&mut m2));
+                                let (it, _) =
+                                    checkpoint::restore(&blob, &mut m2, &mut opt2, k2.as_mut())
+                                        .expect("checkpoint restores");
+                                model = m2;
+                                optimizer = opt2;
+                                kfac = k2;
+                                tr = ResilientTrainer::new(FaultTolerance::default());
+                                resumed = true;
+                                i = it as usize;
+                                for (j, (indices, variant)) in
+                                    batches.iter().enumerate().take(iters).skip(i)
+                                {
+                                    let (x, labels) = batch_of(train_ds, indices, *variant);
+                                    let (loss, outcome) = tr.step(
+                                        &mut model,
+                                        &mut kfac,
+                                        &mut optimizer,
+                                        &recovery,
+                                        &x,
+                                        &labels,
+                                        &criterion,
+                                        LR,
+                                    );
+                                    assert_eq!(
+                                        outcome,
+                                        StepOutcome::Stepped,
+                                        "recovery group degraded at iteration {j}"
+                                    );
+                                    losses.push(loss as f64);
+                                }
+                                break;
+                            }
+                            (loss, _) => {
+                                losses.push(loss as f64);
+                                i += 1;
+                            }
+                        }
+                    }
+
+                    let stats = kfac.as_ref().map(|k| k.stats()).unwrap_or_default();
+                    let mut params = Vec::new();
+                    model.visit_params("", &mut |_, w, _| params.extend_from_slice(w));
+                    let tail = losses.len().saturating_sub(4);
+                    ScenarioResult {
+                        final_loss: losses[tail..].iter().sum::<f64>()
+                            / losses[tail..].len().max(1) as f64,
+                        params,
+                        skipped: tr.skipped_steps,
+                        comm_faults: tr.comm_faults,
+                        stale_factor_steps: stats.stale_factor_steps,
+                        eig_fallbacks: stats.eig_fallbacks,
+                        identity_preconds: stats.identity_preconds,
+                        resumed,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Replicas must agree bit-for-bit — lockstep degradation is the
+    // whole point of the shared fault plan.
+    for r in &results[1..] {
+        assert_eq!(
+            r.params, results[0].params,
+            "ranks diverged under the fault plan"
+        );
+    }
+    results.into_iter().next().unwrap()
+}
+
+/// Same, but behind a wall-clock watchdog: a hang is an assertion
+/// failure, not a stuck process.
+fn run_with_watchdog(
+    name: &'static str,
+    iters: usize,
+    plan: Option<FaultPlanConfig>,
+    ft: FaultTolerance,
+) -> ScenarioResult {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let (train_ds, _) = synthetic_cifar(8, 96, 32, DATA_SEED);
+        let plan = plan.map(|cfg| Arc::new(FaultPlan::new(cfg, RANKS)));
+        let result = run_scenario(iters, plan, ft, &train_ds);
+        let _ = tx.send(result);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(300))
+        .unwrap_or_else(|_| panic!("chaos scenario `{name}` hung"));
+    handle.join().unwrap();
+    result
+}
+
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    }
+}
+
+/// Run the experiment (`xp chaos`).
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let iters = match scale {
+        Scale::Smoke => 8,
+        Scale::Quick => 12,
+        Scale::Full => 20,
+    };
+    let mut notes = Vec::new();
+    let mut table = Table::new(
+        "Chaos matrix — 4-rank CIFAR K-FAC under injected faults",
+        &[
+            "scenario",
+            "final loss",
+            "Δ vs clean",
+            "bitwise = clean",
+            "skipped",
+            "degraded colls",
+            "stale factor steps",
+        ],
+    );
+    let mut row = |name: &str, r: &ScenarioResult, clean: &ScenarioResult| {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.4}", r.final_loss),
+            format!("{:+.4}", r.final_loss - clean.final_loss),
+            if r.params == clean.params {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+            r.skipped.to_string(),
+            r.comm_faults.to_string(),
+            r.stale_factor_steps.to_string(),
+        ]);
+    };
+
+    let clean = run_with_watchdog("baseline", iters, None, FaultTolerance::default());
+    assert!(clean.final_loss.is_finite());
+    row("fault-free baseline", &clean, &clean);
+
+    // Stragglers: pure delay cannot change the math.
+    let straggler = run_with_watchdog(
+        "straggler",
+        iters,
+        Some(FaultPlanConfig {
+            seed: 21,
+            delay_prob: 0.25,
+            delay_micros: 300,
+            ..FaultPlanConfig::default()
+        }),
+        FaultTolerance::default(),
+    );
+    assert_eq!(
+        straggler.params, clean.params,
+        "straggler delays altered results"
+    );
+    row("stragglers (25% ops, +300µs)", &straggler, &clean);
+
+    // Transient outages below the retry budget: healed, bitwise clean.
+    let transient = run_with_watchdog(
+        "transient",
+        iters,
+        Some(FaultPlanConfig {
+            seed: 22,
+            transient_prob: 0.15,
+            transient_ops: 2,
+            ..FaultPlanConfig::default()
+        }),
+        FaultTolerance {
+            retry: fast_retry(10),
+            ..FaultTolerance::default()
+        },
+    );
+    assert_eq!(
+        transient.params, clean.params,
+        "retry-healed transients left a residue"
+    );
+    assert_eq!(transient.skipped, 0);
+    row("transient outages (retried)", &transient, &clean);
+
+    // Long outages on K-FAC traffic: stale factors, training continues.
+    let timeout = run_with_watchdog(
+        "timeout",
+        iters,
+        Some(FaultPlanConfig {
+            seed: 23,
+            timeout_prob: 0.3,
+            timeout_ops: 30,
+            classes: vec![TrafficClass::Factor, TrafficClass::Eigen],
+            ..FaultPlanConfig::default()
+        }),
+        FaultTolerance {
+            retry: fast_retry(2),
+            ..FaultTolerance::default()
+        },
+    );
+    assert!(timeout.final_loss.is_finite());
+    assert!(
+        timeout.stale_factor_steps > 0 || timeout.comm_faults > 0,
+        "timeout plan injected nothing — weak scenario"
+    );
+    assert_eq!(timeout.skipped, 0, "gradient traffic was untouched");
+    assert!(
+        (timeout.final_loss - clean.final_loss).abs() < 1.5,
+        "stale-factor degradation out of tolerance: {} vs {}",
+        timeout.final_loss,
+        clean.final_loss
+    );
+    row("K-FAC timeouts → stale factors", &timeout, &clean);
+
+    // Silent bit-flips: huge-but-finite values that must be caught by
+    // the factor payload guard or the gradient health gate.
+    let corrupt = run_with_watchdog(
+        "corruption",
+        iters,
+        Some(FaultPlanConfig {
+            seed: 24,
+            bitflip_prob: 0.35,
+            corrupt_prob: 0.1,
+            ..FaultPlanConfig::default()
+        }),
+        FaultTolerance {
+            retry: fast_retry(3),
+            grad_limit: 1e4,
+            ..FaultTolerance::default()
+        },
+    );
+    assert!(corrupt.final_loss.is_finite());
+    assert!(corrupt.params.iter().all(|v| v.is_finite()));
+    assert!(
+        corrupt.skipped + corrupt.stale_factor_steps + corrupt.comm_faults > 0,
+        "corruption plan injected nothing — weak scenario"
+    );
+    row("bit-flip corruption", &corrupt, &clean);
+
+    // Permanent rank loss: abort, restore latest checkpoint, finish.
+    let rank_loss = run_with_watchdog(
+        "rank-loss",
+        iters,
+        Some(FaultPlanConfig {
+            seed: 25,
+            rank_loss_at: Some((3 * iters as u64 / 2, 2)),
+            ..FaultPlanConfig::default()
+        }),
+        FaultTolerance {
+            checkpoint_every: 2,
+            ..FaultTolerance::default()
+        },
+    );
+    assert!(rank_loss.resumed, "rank loss never triggered");
+    assert!(rank_loss.final_loss.is_finite());
+    row("rank loss → checkpoint resume", &rank_loss, &clean);
+
+    notes.push(format!(
+        "{iters} iterations × {RANKS} ranks per scenario; every scenario shares model seed \
+         {MODEL_SEED} and data seed {DATA_SEED}, so deltas are pure fault effects."
+    ));
+    notes.push(
+        "Delay and retried-transient scenarios reproduced the baseline parameters bitwise; \
+         degradation scenarios stayed finite and in-tolerance with nonzero degradation counters."
+            .to_string(),
+    );
+    notes.push(format!(
+        "Rank-loss scenario resumed from the latest checkpoint and completed the budget \
+         (final loss {:.4}).",
+        rank_loss.final_loss
+    ));
+    notes.push(format!(
+        "Deeper-ladder fallbacks under corruption: {} eigendecomposition fallbacks, {} \
+         identity-preconditioned factors.",
+        corrupt.eig_fallbacks, corrupt.identity_preconds
+    ));
+
+    ExperimentOutput {
+        id: "chaos",
+        tables: vec![table],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full matrix at smoke scale — the acceptance gate for the
+    /// fault-tolerance work. Ignored by default (multi-scenario, ~tens
+    /// of seconds); CI runs it explicitly.
+    #[test]
+    #[ignore = "chaos stress: run explicitly (CI does)"]
+    fn chaos_matrix_smoke() {
+        let out = run(Scale::Smoke);
+        assert_eq!(out.id, "chaos");
+        assert!(!out.tables.is_empty());
+    }
+
+    /// Cheap always-on check: one degraded scenario end to end.
+    #[test]
+    fn timeout_scenario_degrades_gracefully() {
+        let r = run_with_watchdog(
+            "unit-timeout",
+            6,
+            Some(FaultPlanConfig {
+                seed: 23,
+                timeout_prob: 0.3,
+                timeout_ops: 20,
+                classes: vec![TrafficClass::Factor, TrafficClass::Eigen],
+                ..FaultPlanConfig::default()
+            }),
+            FaultTolerance {
+                retry: fast_retry(2),
+                ..FaultTolerance::default()
+            },
+        );
+        assert!(r.final_loss.is_finite());
+        assert!(r.stale_factor_steps > 0 || r.comm_faults > 0);
+    }
+}

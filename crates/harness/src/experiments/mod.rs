@@ -11,12 +11,14 @@
 //! | [`table6`] | Table VI — per-worker eig imbalance (+ LPT placement ablation) |
 //! | [`fig10`] | Fig. 10 — factor computation time vs model size (measured + projected) |
 //! | [`overlap`] | §V — overlapped vs sequential execution (measured + projected) |
+//! | [`chaos`] | fault matrix — resilient 4-rank training under injected faults |
 //!
 //! Each driver returns an [`ExperimentOutput`] of markdown tables plus
 //! free-form notes; the `xp` binary prints them and appends to
 //! `results/`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod correctness;
 pub mod fig10;
 pub mod fig5;
@@ -75,6 +77,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig10",
     "ablations",
     "overlap",
+    "chaos",
 ];
 
 /// Dispatch one experiment by id.
@@ -93,6 +96,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "fig10" => Some(fig10::run(scale)),
         "ablations" => Some(ablations::run(scale)),
         "overlap" => Some(overlap::run(scale)),
+        "chaos" => Some(chaos::run(scale)),
         _ => None,
     }
 }

@@ -7,6 +7,9 @@
 //! * [`trainer`] — the distributed synchronous training loop (Fig. 1 +
 //!   Listing 1): thread-rank replicas, fused gradient allreduce, optional
 //!   K-FAC preconditioning, sharded validation.
+//! * [`resilient`] — fault-tolerant iterations: retry, stale-factor and
+//!   identity-preconditioner degradation, skipped steps, checkpoints.
+//! * [`checkpoint`] — bitwise-resumable training-state serialization.
 //! * [`presets`] — CPU-tractable stand-ins for the paper's
 //!   CIFAR-10/ResNet-32 and ImageNet/ResNet-50 setups at three scales
 //!   (smoke/quick/full), preserving the paper's budget ratios.
@@ -20,12 +23,15 @@
 //! cargo run --release -p kfac-harness --bin xp -- all --scale smoke
 //! ```
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod overlap;
 pub mod presets;
 pub mod report;
+pub mod resilient;
 pub mod trainer;
 
 pub use overlap::ExecStrategy;
 pub use presets::{CifarSetup, ImagenetSetup, Scale};
+pub use resilient::{FaultTolerance, ResilientTrainer, StepOutcome};
 pub use trainer::{train, TrainConfig, TrainResult};

@@ -141,6 +141,18 @@ pub fn allreduce_gradients(model: &mut dyn Layer, comm: &dyn Communicator) {
     });
 }
 
+/// True when every gradient entry is finite — the health gate that
+/// decides whether this iteration's update is applied at all.
+pub fn gradients_finite(model: &mut dyn Layer) -> bool {
+    let mut ok = true;
+    model.visit_params("", &mut |_, _, g| {
+        if ok && !g.iter().all(|v| v.is_finite()) {
+            ok = false;
+        }
+    });
+    ok
+}
+
 /// Sharded validation: each rank evaluates a slice of the validation
 /// set; correct/total counts are allreduced.
 fn validate(
@@ -243,7 +255,7 @@ fn run_rank(
             model.zero_grad();
             model.set_capture(capture);
 
-            {
+            let loss = {
                 let _span = Span::enter("train/forward").with("batch", indices.len());
                 let out = model.forward(&x, Mode::Train);
                 let (loss, grad) = criterion.forward(&out, &labels);
@@ -251,11 +263,21 @@ fn run_rank(
                 drop(_span);
                 let _span = Span::enter("train/backward");
                 let _ = model.backward(&grad);
-            }
+                loss
+            };
 
             {
                 let _span = Span::enter("train/grad_allreduce");
                 allreduce_gradients(&mut model, comm);
+            }
+            // Health gate: a non-finite loss or gradient (overflow,
+            // data corruption) skips the K-FAC and optimizer updates
+            // rather than poisoning the parameters. Post-allreduce
+            // gradients are identical on every rank, so the skip is
+            // group-consistent by construction.
+            if !loss.is_finite() || !gradients_finite(&mut model) {
+                registry.counter("train/skipped_steps").inc();
+                continue;
             }
             if let Some(k) = &mut kfac {
                 let _span = Span::enter("train/kfac_step").with("capture", capture as u64);

@@ -45,6 +45,27 @@ impl Sgd {
     pub fn paper_default(weight_decay: f32) -> Self {
         Sgd::new(0.9, weight_decay)
     }
+
+    /// Snapshot the momentum buffers as `(param_name, velocity)` pairs,
+    /// sorted by name so the encoding is deterministic. Together with
+    /// the model parameters this is the optimizer's complete state —
+    /// what a training checkpoint must carry to resume bitwise.
+    pub fn export_state(&self) -> Vec<(String, Vec<f32>)> {
+        let mut out: Vec<(String, Vec<f32>)> = self
+            .velocity
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Replace the momentum buffers with a snapshot captured by
+    /// [`Sgd::export_state`]. Buffers for parameters not present in the
+    /// snapshot start back at zero (exactly as on first use).
+    pub fn import_state(&mut self, state: Vec<(String, Vec<f32>)>) {
+        self.velocity = state.into_iter().collect();
+    }
 }
 
 impl Optimizer for Sgd {

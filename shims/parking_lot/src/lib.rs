@@ -78,6 +78,19 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed wait on a [`Condvar`]; mirrors parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// Condition variable with parking_lot's `wait(&mut guard)` signature.
 #[derive(Default)]
 pub struct Condvar {
@@ -102,6 +115,26 @@ impl Condvar {
             .wait(inner)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
+    }
+
+    /// Atomically release the guard's lock and wait for a notification or
+    /// the timeout, re-acquiring before returning. Mirrors parking_lot's
+    /// `wait_for`; callers still loop on their predicate because spurious
+    /// wakeups are possible.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wake one waiter.
@@ -150,6 +183,19 @@ mod tests {
             }
         });
         assert_eq!(*pair.0.lock(), n);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let r = cv.wait_for(&mut guard, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+        // The guard is usable again after the timed wait.
+        *guard = true;
+        drop(guard);
+        assert!(*m.lock());
     }
 
     #[test]
