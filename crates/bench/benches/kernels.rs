@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kfac_collectives::{Communicator, ReduceOp, ThreadComm};
+use kfac_harness::benchkernels::{self, Kind};
 use kfac_nn::im2col::im2col;
 use kfac_tensor::{eigh, invert, Matrix, Rng64, Tensor4};
 use std::time::Duration;
@@ -30,20 +31,91 @@ fn bench_gemm(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .sample_size(20);
     let mut rng = Rng64::new(1);
-    for n in [64usize, 128, 256] {
+    for n in [64usize, 128, 256, 512, 1024] {
         let a = random_matrix(n, n, &mut rng);
         let b = random_matrix(n, n, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
         group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+            bench.iter(|| {
+                a.matmul_into(&b, &mut out);
+                std::hint::black_box(&out);
+            });
         });
     }
-    // The K-FAC factor kernel: tall-skinny Gram.
+    // The K-FAC factor kernel: tall-skinny Gram, plus the square Grams
+    // the packed-engine acceptance criteria are stated over.
     let x = random_matrix(2048, 128, &mut rng);
     group.throughput(Throughput::Elements(2048 * 128 * 128));
     group.bench_function("gram_2048x128", |bench| {
         bench.iter(|| std::hint::black_box(x.gram()));
     });
+    for n in [256usize, 512, 1024] {
+        let x = random_matrix(n, n, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
+        group.throughput(Throughput::Elements((n * n * (n + 1)) as u64));
+        group.bench_with_input(BenchmarkId::new("gram", n), &n, |bench, _| {
+            bench.iter(|| {
+                x.gram_into(&mut out);
+                std::hint::black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Every shape of the `xp bench-kernels` suite (ResNet-32/CIFAR layer
+/// products + the square acceptance shapes) on the packed engine, so
+/// criterion history tracks the exact shapes `BENCH_kernels.json` reports.
+fn bench_resnet32_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packed_kernels");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let mut rng = Rng64::new(4);
+    for (name, kind, m, k, n) in benchkernels::cases() {
+        let (a, b, madds) = match kind {
+            Kind::Matmul => (
+                random_matrix(m, k, &mut rng),
+                random_matrix(k, n, &mut rng),
+                m * k * n,
+            ),
+            Kind::MatmulTn => (
+                random_matrix(k, m, &mut rng),
+                random_matrix(k, n, &mut rng),
+                m * k * n,
+            ),
+            Kind::MatmulNt => (
+                random_matrix(m, k, &mut rng),
+                random_matrix(n, k, &mut rng),
+                m * k * n,
+            ),
+            Kind::Gram => (
+                random_matrix(k, n, &mut rng),
+                Matrix::zeros(0, 0),
+                k * n * (n + 1) / 2,
+            ),
+            Kind::GramNt => (
+                random_matrix(m, k, &mut rng),
+                Matrix::zeros(0, 0),
+                k * m * (m + 1) / 2,
+            ),
+        };
+        let mut out = Matrix::zeros(0, 0);
+        group.throughput(Throughput::Elements(2 * madds as u64));
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                match kind {
+                    Kind::Matmul => a.matmul_into(&b, &mut out),
+                    Kind::MatmulTn => a.matmul_tn_into(&b, &mut out),
+                    Kind::MatmulNt => a.matmul_nt_into(&b, &mut out),
+                    Kind::Gram => a.gram_into(&mut out),
+                    Kind::GramNt => a.gram_nt_into(&mut out),
+                }
+                std::hint::black_box(&out);
+            });
+        });
+    }
     group.finish();
 }
 
@@ -115,6 +187,7 @@ fn bench_allreduce(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemm,
+    bench_resnet32_shapes,
     bench_eig_and_inverse,
     bench_im2col,
     bench_allreduce

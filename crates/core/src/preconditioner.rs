@@ -52,7 +52,7 @@ use crate::stats::StageStats;
 use kfac_collectives::{Communicator, ReduceOp, TrafficClass};
 use kfac_nn::{KfacEligible, Layer};
 use kfac_telemetry::{Registry, Span};
-use kfac_tensor::{EigenDecomposition, Matrix};
+use kfac_tensor::{arena, EigenDecomposition, Matrix};
 
 /// Per-factor second-order state.
 enum FactorSecondOrder {
@@ -295,7 +295,12 @@ impl Kfac {
         let xi = self.cfg.running_avg;
         for (id, new) in [(2 * li, a), (2 * li + 1, g)] {
             match &mut self.averages[id] {
-                Some(avg) => avg.axpby(xi, &new, 1.0 - xi),
+                Some(avg) => {
+                    avg.axpby(xi, &new, 1.0 - xi);
+                    // `new` came from the layer's arena scratch; return it
+                    // so steady-state factor updates allocate nothing.
+                    arena::recycle_matrix(new);
+                }
                 slot @ None => *slot = Some(new),
             }
         }

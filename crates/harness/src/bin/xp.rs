@@ -37,6 +37,10 @@ fn main() {
         println!("available experiments: {}", ALL_EXPERIMENTS.join(", "));
         return;
     }
+    if target == "bench-kernels" {
+        run_bench_kernels(&args[1..]);
+        return;
+    }
 
     let mut scale = Scale::Quick;
     let mut out_dir: Option<PathBuf> = None;
@@ -150,10 +154,58 @@ fn main() {
     }
 }
 
+/// `xp bench-kernels [--json [FILE]]` — time the packed GEMM/Gram kernels
+/// against the legacy baseline on ResNet-32 and square stress shapes.
+/// `--json` writes machine-readable results (default `BENCH_kernels.json`).
+fn run_bench_kernels(args: &[String]) {
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_kernels.json".to_string(),
+                };
+                json_path = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown flag {other} (bench-kernels takes [--json [FILE]])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    eprintln!(
+        "=== bench-kernels (pool threads: {}) ===",
+        rayon::current_num_threads()
+    );
+    let started = std::time::Instant::now();
+    let cases = kfac_harness::benchkernels::run_all();
+    print!("{}", kfac_harness::benchkernels::render_table(&cases));
+    eprintln!(
+        "=== bench-kernels done in {:.1}s ===",
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = json_path {
+        let json = kfac_harness::benchkernels::to_json(&cases);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: xp <experiment|all|list> [--scale smoke|quick|full] [--out DIR] \
-         [--trace-out FILE] [--overlap [WORKERS]]\n\
+        "usage: xp <experiment|all|list|bench-kernels> [--scale smoke|quick|full] [--out DIR] \
+         [--trace-out FILE] [--overlap [WORKERS]] [--json [FILE]]\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

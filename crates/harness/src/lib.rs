@@ -14,6 +14,8 @@
 //!   CIFAR-10/ResNet-32 and ImageNet/ResNet-50 setups at three scales
 //!   (smoke/quick/full), preserving the paper's budget ratios.
 //! * [`experiments`] — one driver per table and figure of §VI.
+//! * [`benchkernels`] — packed-vs-legacy GEMM/Gram kernel benchmark
+//!   behind `xp bench-kernels`.
 //! * [`report`] — markdown rendering of results.
 //!
 //! Regenerate any experiment with the `xp` binary:
@@ -23,6 +25,7 @@
 //! cargo run --release -p kfac-harness --bin xp -- all --scale smoke
 //! ```
 
+pub mod benchkernels;
 pub mod checkpoint;
 pub mod experiments;
 pub mod overlap;

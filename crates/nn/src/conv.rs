@@ -7,8 +7,10 @@
 //! per-position output gradients. The paper's implementation inherits this
 //! from kfac-pytorch; we implement it directly.
 
-use crate::im2col::{col2im, conv_out_dim, im2col};
+use crate::im2col::{col2im_into, conv_out_dim, im2col_into};
 use crate::layer::{Capture, KfacEligible, Layer, Mode};
+use kfac_tensor::arena;
+use kfac_tensor::gemm::{gemm_into, View};
 use kfac_tensor::{init, Matrix, Rng64, Tensor4};
 
 /// `Conv2d(c_in → c_out, k×k, stride, pad)`, square kernels.
@@ -28,6 +30,14 @@ pub struct Conv2d {
     cols: Option<Matrix>,
     in_shape: Option<(usize, usize, usize, usize)>,
     capture: Capture,
+    /// Retired patch buffer, reused by the next forward (steady-state
+    /// forwards reshape it in place instead of allocating).
+    cols_pool: Option<Matrix>,
+    /// Persistent GEMM scratch: forward output rows, backward gradient
+    /// rows, and the backward patch-gradient matrix.
+    y_rows: Matrix,
+    gy_rows: Matrix,
+    dcols: Matrix,
 }
 
 impl Conv2d {
@@ -62,6 +72,10 @@ impl Conv2d {
             cols: None,
             in_shape: None,
             capture: Capture::default(),
+            cols_pool: None,
+            y_rows: Matrix::zeros(0, 0),
+            gy_rows: Matrix::zeros(0, 0),
+            dcols: Matrix::zeros(0, 0),
         }
     }
 
@@ -70,15 +84,11 @@ impl Conv2d {
         self.k
     }
 
-    fn weight_matrix(&self) -> Matrix {
-        Matrix::from_vec(self.c_out, self.c_in * self.k * self.k, self.weight.clone())
-    }
-
     /// Reshape NCHW gradient to GEMM row layout `(n·oh·ow) × c_out`,
-    /// matching the im2col row order.
-    fn grad_to_rows(grad: &Tensor4) -> Matrix {
+    /// matching the im2col row order. Every element of `m` is written.
+    fn grad_to_rows_into(grad: &Tensor4, m: &mut Matrix) {
         let (n, c, oh, ow) = grad.shape();
-        let mut m = Matrix::zeros(n * oh * ow, c);
+        m.reset_for(n * oh * ow, c);
         for ni in 0..n {
             for ci in 0..c {
                 let plane = grad.plane(ni, ci);
@@ -89,7 +99,6 @@ impl Conv2d {
                 }
             }
         }
-        m
     }
 
     /// Reshape GEMM rows `(n·oh·ow) × c_out` back to NCHW.
@@ -116,39 +125,41 @@ impl Layer for Conv2d {
         let oh = conv_out_dim(h, self.k, self.stride, self.pad);
         let ow = conv_out_dim(w, self.k, self.stride, self.pad);
 
-        let cols = im2col(input, self.k, self.stride, self.pad);
-        let wm = self.weight_matrix();
-        let mut y = cols.matmul_nt(&wm); // rows × c_out
+        // Reuse the retired patch buffer from the previous iteration.
+        let mut cols = self.cols_pool.take().unwrap_or_else(|| Matrix::zeros(0, 0));
+        im2col_into(input, self.k, self.stride, self.pad, &mut cols);
+
+        // y = cols · Wᵀ, multiplying straight against the parameter slice.
+        let rows = cols.rows();
+        let fan_in = self.c_in * self.k * self.k;
+        self.y_rows.reset_for(rows, self.c_out);
+        gemm_into(
+            View::new(cols.as_slice(), rows, fan_in),
+            View::t(&self.weight, self.c_out, fan_in),
+            self.y_rows.as_mut_slice(),
+        );
 
         if let Some(b) = &self.bias {
-            for r in 0..y.rows() {
-                let row = y.row_mut(r);
+            for r in 0..rows {
+                let row = self.y_rows.row_mut(r);
                 for (v, &bj) in row.iter_mut().zip(b.iter()) {
                     *v += bj;
                 }
             }
         }
 
-        let out = Self::rows_to_tensor(&y, n, self.c_out, oh, ow);
+        let out = Self::rows_to_tensor(&self.y_rows, n, self.c_out, oh, ow);
 
         if mode == Mode::Train {
             if self.capture.enabled {
                 // Bias-augmented patch matrix for the activation factor.
-                let extra = usize::from(self.bias.is_some());
-                if extra == 1 {
-                    let mut a = Matrix::zeros(cols.rows(), cols.cols() + 1);
-                    for r in 0..cols.rows() {
-                        a.row_mut(r)[..cols.cols()].copy_from_slice(cols.row(r));
-                        a.row_mut(r)[cols.cols()] = 1.0;
-                    }
-                    self.capture.a = Some(a);
-                } else {
-                    self.capture.a = Some(cols.clone());
-                }
+                self.capture.store_a_augmented(&cols, self.bias.is_some());
                 self.capture.g = None;
             }
             self.cols = Some(cols);
             self.in_shape = Some((n, c, h, w));
+        } else {
+            self.cols_pool = Some(cols);
         }
 
         out
@@ -157,23 +168,31 @@ impl Layer for Conv2d {
     fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
         let cols = self.cols.take().expect("backward without forward");
         let in_shape = self.in_shape.expect("backward without forward");
-        let gy = Self::grad_to_rows(grad_output); // rows × c_out
+        Self::grad_to_rows_into(grad_output, &mut self.gy_rows); // rows × c_out
+        let gy = &self.gy_rows;
+        let rows = gy.rows();
+        let fan_in = self.c_in * self.k * self.k;
 
         if self.capture.enabled {
             // Undo the mean-loss 1/batch so G is the per-example gradient
             // covariance; batch is n, not rows = n·oh·ow.
-            let mut g = gy.clone();
-            g.scale(in_shape.0 as f32);
-            self.capture.g = Some(g);
+            self.capture.store_g_scaled(gy, in_shape.0 as f32);
         }
 
-        // dW = gyᵀ · cols  (c_out × c_in·k·k)
-        let dw = gy.matmul_tn(&cols);
+        // dW = gyᵀ · cols  (c_out × c_in·k·k); the fresh product lands in
+        // arena scratch and is accumulated into the persistent gradient.
+        let mut dw = arena::take_matrix(self.c_out, fan_in);
+        gemm_into(
+            View::t(gy.as_slice(), rows, self.c_out),
+            View::new(cols.as_slice(), rows, fan_in),
+            dw.as_mut_slice(),
+        );
         for (gw, d) in self.grad_weight.iter_mut().zip(dw.as_slice()) {
             *gw += d;
         }
+        arena::recycle_matrix(dw);
         if let Some(gb) = &mut self.grad_bias {
-            for r in 0..gy.rows() {
+            for r in 0..rows {
                 for (b, &v) in gb.iter_mut().zip(gy.row(r)) {
                     *b += v;
                 }
@@ -181,9 +200,23 @@ impl Layer for Conv2d {
         }
 
         // dX = col2im(gy · W)
-        let wm = self.weight_matrix();
-        let dcols = gy.matmul(&wm); // rows × (c_in·k·k)
-        col2im(&dcols, in_shape, self.k, self.stride, self.pad)
+        self.dcols.reset_for(rows, fan_in);
+        gemm_into(
+            View::new(gy.as_slice(), rows, self.c_out),
+            View::new(&self.weight, self.c_out, fan_in),
+            self.dcols.as_mut_slice(),
+        );
+        let mut dx = Tensor4::zeros(0, 0, 0, 0);
+        col2im_into(
+            &self.dcols,
+            in_shape,
+            self.k,
+            self.stride,
+            self.pad,
+            &mut dx,
+        );
+        self.cols_pool = Some(cols);
+        dx
     }
 
     fn output_shape(&self, input: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
@@ -237,9 +270,14 @@ impl KfacEligible for Conv2d {
         let a = self.capture.a.as_ref().expect("activation not captured");
         let g = self.capture.g.as_ref().expect("gradient not captured");
         let m = a.rows() as f32;
-        let mut fa = a.gram();
+        // Arena-backed factor scratch: the preconditioner recycles these
+        // after folding them into the running averages, so steady-state
+        // factor updates allocate nothing.
+        let mut fa = arena::take_matrix(a.cols(), a.cols());
+        a.gram_into(&mut fa);
         fa.scale(1.0 / m);
-        let mut fg = g.gram();
+        let mut fg = arena::take_matrix(g.cols(), g.cols());
+        g.gram_into(&mut fg);
         fg.scale(1.0 / m);
         (fa, fg)
     }

@@ -23,46 +23,65 @@ pub fn conv_out_dim(input: usize, k: usize, stride: usize, pad: usize) -> usize 
 
 /// Expand `input` into patch rows: `(n · oh · ow) × (c · k · k)`.
 pub fn im2col(input: &Tensor4, k: usize, stride: usize, pad: usize) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    im2col_into(input, k, stride, pad, &mut out);
+    out
+}
+
+/// [`im2col`] into a reusable matrix: `out` is reshaped in place (its
+/// contents need not be initialized — every patch element, padding
+/// included, is written exactly once). The conv hot path calls this on a
+/// persistent per-layer buffer so steady-state forward passes allocate
+/// nothing.
+pub fn im2col_into(input: &Tensor4, k: usize, stride: usize, pad: usize, out: &mut Matrix) {
     let (n, c, h, w) = input.shape();
     let oh = conv_out_dim(h, k, stride, pad);
     let ow = conv_out_dim(w, k, stride, pad);
     let cols = c * k * k;
     let rows = n * oh * ow;
-    let mut out = Matrix::zeros(rows, cols);
+    out.reset_for(rows, cols);
 
     // Parallelize over samples: each sample writes a disjoint row block.
-    out.as_mut_slice()
-        .par_chunks_mut(oh * ow * cols)
-        .enumerate()
-        .for_each(|(ni, block)| {
-            let sample = input.sample(ni);
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &mut block[(oy * ow + ox) * cols..(oy * ow + ox + 1) * cols];
-                    let iy0 = (oy * stride) as isize - pad as isize;
-                    let ix0 = (ox * stride) as isize - pad as isize;
-                    let mut col = 0usize;
-                    for ci in 0..c {
-                        let plane = &sample[ci * h * w..(ci + 1) * h * w];
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            for kx in 0..k {
-                                let ix = ix0 + kx as isize;
-                                row[col] =
-                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
-                                    {
-                                        plane[iy as usize * w + ix as usize]
-                                    } else {
-                                        0.0
-                                    };
-                                col += 1;
-                            }
+    let fill_block = |ni: usize, block: &mut [f32]| {
+        let sample = input.sample(ni);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &mut block[(oy * ow + ox) * cols..(oy * ow + ox + 1) * cols];
+                let iy0 = (oy * stride) as isize - pad as isize;
+                let ix0 = (ox * stride) as isize - pad as isize;
+                let mut col = 0usize;
+                for ci in 0..c {
+                    let plane = &sample[ci * h * w..(ci + 1) * h * w];
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            row[col] =
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    plane[iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                            col += 1;
                         }
                     }
                 }
             }
-        });
-    out
+        }
+    };
+    if n > 1 && rayon::current_num_threads() > 1 {
+        out.as_mut_slice()
+            .par_chunks_mut(oh * ow * cols)
+            .enumerate()
+            .for_each(|(ni, block)| fill_block(ni, block));
+    } else {
+        // Sequential path: keeps single-thread pools (and the zero-alloc
+        // steady state they guarantee) free of scheduler bookkeeping.
+        let block_len = (oh * ow * cols).max(1);
+        for (ni, block) in out.as_mut_slice().chunks_mut(block_len).enumerate() {
+            fill_block(ni, block);
+        }
+    }
 }
 
 /// Scatter-add patch rows back to an input-shaped tensor: the adjoint of
@@ -75,42 +94,69 @@ pub fn col2im(
     pad: usize,
 ) -> Tensor4 {
     let (n, c, h, w) = in_shape;
+    let mut out = Tensor4::zeros(n, c, h, w);
+    col2im_into(cols, in_shape, k, stride, pad, &mut out);
+    out
+}
+
+/// [`col2im`] into a reusable tensor: `out` is reshaped in place and
+/// zero-filled before the scatter-add (gaps between receptive fields must
+/// read as zero, so a fill is unavoidable — but the allocation isn't).
+pub fn col2im_into(
+    cols: &Matrix,
+    in_shape: (usize, usize, usize, usize),
+    k: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor4,
+) {
+    let (n, c, h, w) = in_shape;
     let oh = conv_out_dim(h, k, stride, pad);
     let ow = conv_out_dim(w, k, stride, pad);
     assert_eq!(cols.rows(), n * oh * ow, "col2im row count mismatch");
     assert_eq!(cols.cols(), c * k * k, "col2im column count mismatch");
 
-    let mut out = Tensor4::zeros(n, c, h, w);
+    out.reset_for(n, c, h, w);
+    out.as_mut_slice().fill(0.0);
     let ncols = cols.cols();
     // Parallel over samples: each sample's scatter targets are disjoint.
-    out.as_mut_slice()
-        .par_chunks_mut(c * h * w)
-        .enumerate()
-        .for_each(|(ni, sample)| {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = cols.row((ni * oh + oy) * ow + ox);
-                    debug_assert_eq!(row.len(), ncols);
-                    let iy0 = (oy * stride) as isize - pad as isize;
-                    let ix0 = (ox * stride) as isize - pad as isize;
-                    let mut col = 0usize;
-                    for ci in 0..c {
-                        let plane = &mut sample[ci * h * w..(ci + 1) * h * w];
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            for kx in 0..k {
-                                let ix = ix0 + kx as isize;
-                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                    plane[iy as usize * w + ix as usize] += row[col];
-                                }
-                                col += 1;
+    let scatter_sample = |ni: usize, sample: &mut [f32]| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = cols.row((ni * oh + oy) * ow + ox);
+                debug_assert_eq!(row.len(), ncols);
+                let iy0 = (oy * stride) as isize - pad as isize;
+                let ix0 = (ox * stride) as isize - pad as isize;
+                let mut col = 0usize;
+                for ci in 0..c {
+                    let plane = &mut sample[ci * h * w..(ci + 1) * h * w];
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                plane[iy as usize * w + ix as usize] += row[col];
                             }
+                            col += 1;
                         }
                     }
                 }
             }
-        });
-    out
+        }
+    };
+    if n > 1 && rayon::current_num_threads() > 1 {
+        out.as_mut_slice()
+            .par_chunks_mut(c * h * w)
+            .enumerate()
+            .for_each(|(ni, sample)| scatter_sample(ni, sample));
+    } else {
+        // Sequential path (see `im2col_into`): no scheduler bookkeeping on
+        // single-thread pools.
+        let sample_len = (c * h * w).max(1);
+        for (ni, sample) in out.as_mut_slice().chunks_mut(sample_len).enumerate() {
+            scatter_sample(ni, sample);
+        }
+    }
 }
 
 #[cfg(test)]

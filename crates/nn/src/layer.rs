@@ -153,6 +153,36 @@ impl Capture {
         self.a = None;
         self.g = None;
     }
+
+    /// Stash the activation rows, appending a homogeneous `1` column when
+    /// `bias` is set (the bias-folding trick of §II-C). Reuses the
+    /// previous capture's allocation, so steady-state capture iterations
+    /// allocate nothing.
+    pub fn store_a_augmented(&mut self, x: &Matrix, bias: bool) {
+        let extra = usize::from(bias);
+        let mut a = self.a.take().unwrap_or_else(|| Matrix::zeros(0, 0));
+        a.reset_for(x.rows(), x.cols() + extra);
+        for r in 0..x.rows() {
+            let row = a.row_mut(r);
+            row[..x.cols()].copy_from_slice(x.row(r));
+            if extra == 1 {
+                row[x.cols()] = 1.0;
+            }
+        }
+        self.a = Some(a);
+    }
+
+    /// Stash the output-gradient rows scaled by `scale` (the batch size,
+    /// undoing the mean-loss 1/batch). Reuses the previous capture's
+    /// allocation.
+    pub fn store_g_scaled(&mut self, gy: &Matrix, scale: f32) {
+        let mut g = self.g.take().unwrap_or_else(|| Matrix::zeros(0, 0));
+        g.reset_for(gy.rows(), gy.cols());
+        for (d, &s) in g.as_mut_slice().iter_mut().zip(gy.as_slice()) {
+            *d = s * scale;
+        }
+        self.g = Some(g);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! over the mini-batch (Eq. 5, 16–17).
 
 use crate::layer::{Capture, KfacEligible, Layer, Mode};
+use kfac_tensor::arena;
+use kfac_tensor::gemm::{gemm_into, View};
 use kfac_tensor::{init, Matrix, Rng64, Tensor4};
 
 /// Dense layer `y = x Wᵀ + b`. Expects inputs flattened to
@@ -21,6 +23,10 @@ pub struct Linear {
     /// Cached training input (N × in), needed for dW = gᵀ x.
     input: Option<Matrix>,
     capture: Capture,
+    /// Retired input buffer, reused by the next forward.
+    input_pool: Option<Matrix>,
+    /// Persistent scratch for the backward gradient rows.
+    gy_rows: Matrix,
 }
 
 impl Linear {
@@ -52,6 +58,8 @@ impl Linear {
             bias: bias_v,
             input: None,
             capture: Capture::default(),
+            input_pool: None,
+            gy_rows: Matrix::zeros(0, 0),
         }
     }
 
@@ -65,12 +73,9 @@ impl Linear {
         self.out_features
     }
 
-    /// Weight matrix view (out × in).
-    fn weight_matrix(&self) -> Matrix {
-        Matrix::from_vec(self.out_features, self.in_features, self.weight.clone())
-    }
-
-    fn input_to_matrix(input: &Tensor4, in_features: usize) -> Matrix {
+    /// Copy the flattened input into `m` (reshaped in place, no alloc in
+    /// steady state).
+    fn input_to_matrix_into(input: &Tensor4, in_features: usize, m: &mut Matrix) {
         let (n, c, h, w) = input.shape();
         assert_eq!(
             c * h * w,
@@ -81,16 +86,30 @@ impl Linear {
             h,
             w
         );
-        Matrix::from_vec(n, in_features, input.as_slice().to_vec())
+        m.reset_for(n, in_features);
+        m.as_mut_slice().copy_from_slice(input.as_slice());
     }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
-        let x = Self::input_to_matrix(input, self.in_features);
+        // Reuse the retired input buffer from the previous iteration.
+        let mut x = self
+            .input_pool
+            .take()
+            .unwrap_or_else(|| Matrix::zeros(0, 0));
+        Self::input_to_matrix_into(input, self.in_features, &mut x);
         let n = x.rows();
-        let w = self.weight_matrix();
-        let mut y = x.matmul_nt(&w); // N × out
+
+        // y = x Wᵀ, multiplying straight against the parameter slice.
+        // The result escapes as the output tensor, so it gets a fresh
+        // buffer rather than layer scratch.
+        let mut y = Matrix::zeros(n, self.out_features);
+        gemm_into(
+            View::new(x.as_slice(), n, self.in_features),
+            View::t(&self.weight, self.out_features, self.in_features),
+            y.as_mut_slice(),
+        );
 
         if let Some(b) = &self.bias {
             for i in 0..n {
@@ -105,18 +124,12 @@ impl Layer for Linear {
             if self.capture.enabled {
                 // ā: bias-augmented activations (the homogeneous-coordinate
                 // trick that folds b into W, §II-C).
-                let extra = usize::from(self.bias.is_some());
-                let mut a = Matrix::zeros(n, self.in_features + extra);
-                for i in 0..n {
-                    a.row_mut(i)[..self.in_features].copy_from_slice(x.row(i));
-                    if extra == 1 {
-                        a.row_mut(i)[self.in_features] = 1.0;
-                    }
-                }
-                self.capture.a = Some(a);
+                self.capture.store_a_augmented(&x, self.bias.is_some());
                 self.capture.g = None;
             }
             self.input = Some(x);
+        } else {
+            self.input_pool = Some(x);
         }
 
         Tensor4::from_vec(n, self.out_features, 1, 1, y.into_vec())
@@ -125,7 +138,11 @@ impl Layer for Linear {
     fn backward(&mut self, grad_output: &Tensor4) -> Tensor4 {
         let (n, c, h, w) = grad_output.shape();
         assert_eq!((c, h, w), (self.out_features, 1, 1), "grad shape mismatch");
-        let gy = Matrix::from_vec(n, self.out_features, grad_output.as_slice().to_vec());
+        self.gy_rows.reset_for(n, self.out_features);
+        self.gy_rows
+            .as_mut_slice()
+            .copy_from_slice(grad_output.as_slice());
+        let gy = &self.gy_rows;
         let x = self
             .input
             .take()
@@ -134,16 +151,21 @@ impl Layer for Linear {
         if self.capture.enabled {
             // Undo the 1/batch of the mean loss so G matches the paper's
             // per-example-gradient covariance (kfac-pytorch convention).
-            let mut g = gy.clone();
-            g.scale(n as f32);
-            self.capture.g = Some(g);
+            self.capture.store_g_scaled(gy, n as f32);
         }
 
-        // dW = gyᵀ x  (out × in)
-        let dw = gy.matmul_tn(&x);
+        // dW = gyᵀ x  (out × in): arena scratch, accumulated into the
+        // persistent gradient.
+        let mut dw = arena::take_matrix(self.out_features, self.in_features);
+        gemm_into(
+            View::t(gy.as_slice(), n, self.out_features),
+            View::new(x.as_slice(), n, self.in_features),
+            dw.as_mut_slice(),
+        );
         for (gw, d) in self.grad_weight.iter_mut().zip(dw.as_slice()) {
             *gw += d;
         }
+        arena::recycle_matrix(dw);
         // db = column sums of gy
         if let Some(gb) = &mut self.grad_bias {
             for i in 0..n {
@@ -153,9 +175,14 @@ impl Layer for Linear {
             }
         }
 
-        // dX = gy W  (N × in)
-        let w_m = self.weight_matrix();
-        let dx = gy.matmul(&w_m);
+        // dX = gy W  (N × in); escapes as the returned gradient tensor.
+        let mut dx = Matrix::zeros(n, self.in_features);
+        gemm_into(
+            View::new(gy.as_slice(), n, self.out_features),
+            View::new(&self.weight, self.out_features, self.in_features),
+            dx.as_mut_slice(),
+        );
+        self.input_pool = Some(x);
         Tensor4::from_vec(n, self.in_features, 1, 1, dx.into_vec())
     }
 
@@ -204,9 +231,13 @@ impl KfacEligible for Linear {
         let a = self.capture.a.as_ref().expect("activation not captured");
         let g = self.capture.g.as_ref().expect("gradient not captured");
         let m = a.rows() as f32;
-        let mut fa = a.gram();
+        // Arena-backed factor scratch, recycled by the preconditioner
+        // after the running-average fold (see `Kfac::factor_update_layer`).
+        let mut fa = arena::take_matrix(a.cols(), a.cols());
+        a.gram_into(&mut fa);
         fa.scale(1.0 / m);
-        let mut fg = g.gram();
+        let mut fg = arena::take_matrix(g.cols(), g.cols());
+        g.gram_into(&mut fg);
         fg.scale(1.0 / m);
         (fa, fg)
     }

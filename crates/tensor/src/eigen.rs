@@ -17,7 +17,7 @@
 //! The solver works on an `f64` copy for numerical headroom and rounds the
 //! results to `f32`.
 
-use crate::{LinAlgError, Matrix};
+use crate::{arena, LinAlgError, Matrix};
 
 /// Result of [`eigh`]: `A ≈ Q · diag(λ) · Qᵀ` with orthonormal columns in `Q`.
 #[derive(Debug, Clone)]
@@ -94,9 +94,15 @@ pub fn eigh(a: &Matrix) -> Result<EigenDecomposition, LinAlgError> {
         });
     }
 
-    // Work in f64.
-    let mut m: Vec<f64> = a.as_slice().iter().map(|&x| x as f64).collect();
-    let mut q: Vec<f64> = vec![0.0; n * n];
+    // Work in f64, in arena-recycled workspace: the two n×n buffers are
+    // the solver's only large transients, and factor shapes repeat every
+    // update interval, so steady-state eigendecompositions reuse them.
+    let mut m = arena::take_f64(n * n);
+    for (d, &s) in m.iter_mut().zip(a.as_slice()) {
+        *d = s as f64;
+    }
+    let mut q = arena::take_f64(n * n);
+    q.fill(0.0);
     for i in 0..n {
         q[i * n + i] = 1.0;
     }
@@ -166,6 +172,8 @@ pub fn eigh(a: &Matrix) -> Result<EigenDecomposition, LinAlgError> {
             }
         }
         if off.sqrt() > tol.max(1e-10 * frob) {
+            arena::recycle_f64(m);
+            arena::recycle_f64(q);
             return Err(LinAlgError::NotConverged);
         }
     }
@@ -182,6 +190,8 @@ pub fn eigh(a: &Matrix) -> Result<EigenDecomposition, LinAlgError> {
             eigenvectors[(i, new_j)] = q[idx(i, old_j)] as f32;
         }
     }
+    arena::recycle_f64(m);
+    arena::recycle_f64(q);
 
     Ok(EigenDecomposition {
         eigenvalues,

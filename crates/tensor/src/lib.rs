@@ -27,8 +27,10 @@
 //! §VI-A) except where noted: the Jacobi eigensolver accumulates rotations
 //! in `f64` for stability and rounds the results back to `f32`.
 
+pub mod arena;
 pub mod cholesky;
 pub mod eigen;
+pub mod gemm;
 pub mod init;
 pub mod inverse;
 pub mod kron;

@@ -1,22 +1,19 @@
-//! Cache-blocked, rayon-parallel matrix multiplication kernels.
+//! Matrix-product entry points, routed through the packed GEMM engine.
 //!
-//! On the paper's platform these products run as cuBLAS GEMMs on V100s; here
-//! they run on CPU cores with rayon standing in for the GPU's intra-kernel
-//! parallelism. The kernels use the `ikj` loop order so the innermost loop
-//! streams contiguous rows of `B` and `C` (auto-vectorizable), and split the
-//! output rows across the rayon pool above a size threshold so small
-//! matrices do not pay fork-join overhead.
+//! On the paper's platform these products run as cuBLAS GEMMs on V100s;
+//! here they run on the packed, register-tiled kernels of [`crate::gemm`]
+//! (see that module for the packing/tiling/determinism story). This
+//! module keeps the `Matrix`-level API: allocating wrappers (`matmul`,
+//! `gram`, …) for convenience, and `_into` variants that write
+//! caller-provided buffers for the zero-alloc hot paths.
 //!
-//! Besides general GEMM, this module provides the two Gram kernels the
-//! K-FAC factor computation is built from:
-//! `gram` (`AᵀA`) for activation factors and `gram_nt` (`A Aᵀ`).
+//! Besides general GEMM, this provides the two Gram kernels the K-FAC
+//! factor computation is built from: `gram` (`AᵀA`) for activation
+//! factors and `gram_nt` (`A Aᵀ`) — both computed triangle-only and
+//! mirrored, so they are exactly symmetric by construction.
 
+use crate::gemm::{gemm_into, gemm_symmetric_into, View};
 use crate::Matrix;
-use rayon::prelude::*;
-
-/// Below this many output elements, run single-threaded: the fork-join cost
-/// would dominate the multiply itself.
-const PAR_THRESHOLD: usize = 64 * 64;
 
 impl Matrix {
     /// General matrix product `C = self · other`.
@@ -24,6 +21,14 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut c);
+        c
+    }
+
+    /// `C = self · other` into a reusable output matrix (reshaped in
+    /// place; contents need not be initialized — first-touch write).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -33,44 +38,23 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
-        let m = self.rows();
-        let k = self.cols();
-        let n = other.cols();
-        let mut c = Matrix::zeros(m, n);
-
-        let kernel = |i: usize, c_row: &mut [f32]| {
-            let a_row = self.row(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                // Innermost loop over contiguous memory: vectorizes.
-                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                    *c_v += a_ip * b_v;
-                }
-            }
-        };
-
-        if m * n >= PAR_THRESHOLD && m > 1 {
-            c.as_mut_slice()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, c_row)| kernel(i, c_row));
-        } else {
-            for i in 0..m {
-                let row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
-                kernel(i, row);
-            }
-        }
-        c
+        out.reset_for(self.rows(), other.cols());
+        gemm_into(
+            View::new(self.as_slice(), self.rows(), self.cols()),
+            View::new(other.as_slice(), other.rows(), other.cols()),
+            out.as_mut_slice(),
+        );
     }
 
     /// `C = selfᵀ · other` without materializing the transpose.
-    ///
-    /// `C[j, l] = Σᵢ self[i, j] · other[i, l]`; computed as a sum of
-    /// rank-one row updates so all accesses stay row-contiguous.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_tn_into(other, &mut c);
+        c
+    }
+
+    /// `C = selfᵀ · other` into a reusable output matrix.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -80,64 +64,23 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
-        let m = self.cols();
-        let n = other.cols();
-        let k = self.rows();
-
-        if m * n >= PAR_THRESHOLD && k >= 8 {
-            // Partition the shared i-dimension across threads, then reduce.
-            let nchunks = rayon::current_num_threads().max(1);
-            let chunk = k.div_ceil(nchunks);
-            let partials: Vec<Matrix> = (0..k)
-                .into_par_iter()
-                .step_by(chunk.max(1))
-                .map(|start| {
-                    let end = (start + chunk).min(k);
-                    let mut acc = Matrix::zeros(m, n);
-                    for i in start..end {
-                        let a_row = self.row(i);
-                        let b_row = other.row(i);
-                        for (j, &a_ij) in a_row.iter().enumerate() {
-                            if a_ij == 0.0 {
-                                continue;
-                            }
-                            let acc_row = acc.row_mut(j);
-                            for (c_v, &b_v) in acc_row.iter_mut().zip(b_row) {
-                                *c_v += a_ij * b_v;
-                            }
-                        }
-                    }
-                    acc
-                })
-                .collect();
-            let mut c = Matrix::zeros(m, n);
-            for p in &partials {
-                c.add_assign(p);
-            }
-            c
-        } else {
-            let mut c = Matrix::zeros(m, n);
-            for i in 0..k {
-                let a_row = self.row(i);
-                let b_row = other.row(i);
-                for (j, &a_ij) in a_row.iter().enumerate() {
-                    if a_ij == 0.0 {
-                        continue;
-                    }
-                    let acc_row = c.row_mut(j);
-                    for (c_v, &b_v) in acc_row.iter_mut().zip(b_row) {
-                        *c_v += a_ij * b_v;
-                    }
-                }
-            }
-            c
-        }
+        out.reset_for(self.cols(), other.cols());
+        gemm_into(
+            View::t(self.as_slice(), self.rows(), self.cols()),
+            View::new(other.as_slice(), other.rows(), other.cols()),
+            out.as_mut_slice(),
+        );
     }
 
     /// `C = self · otherᵀ` without materializing the transpose.
-    ///
-    /// `C[i, j] = ⟨self.row(i), other.row(j)⟩` — both operands row-contiguous.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_nt_into(other, &mut c);
+        c
+    }
+
+    /// `C = self · otherᵀ` into a reusable output matrix.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -147,82 +90,53 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
-        let m = self.rows();
-        let n = other.rows();
-        let mut c = Matrix::zeros(m, n);
-
-        let kernel = |i: usize, c_row: &mut [f32]| {
-            let a_row = self.row(i);
-            for (j, c_v) in c_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *c_v = acc;
-            }
-        };
-
-        if m * n >= PAR_THRESHOLD && m > 1 {
-            c.as_mut_slice()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, c_row)| kernel(i, c_row));
-        } else {
-            for i in 0..m {
-                let row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
-                kernel(i, row);
-            }
-        }
-        c
+        out.reset_for(self.rows(), other.rows());
+        gemm_into(
+            View::new(self.as_slice(), self.rows(), self.cols()),
+            View::t(other.as_slice(), other.rows(), other.cols()),
+            out.as_mut_slice(),
+        );
     }
 
     /// Gram matrix `selfᵀ · self`, the kernel behind the activation factor
     /// `A = āᵀā / batch` (rows of `self` are per-example activation rows).
     ///
-    /// Exploits symmetry: only the upper triangle is computed, then mirrored.
+    /// Only diagonal-touching and upper tiles are computed; the upper
+    /// triangle is mirrored down, so the result is bitwise symmetric.
     pub fn gram(&self) -> Matrix {
-        let n = self.cols();
-        let k = self.rows();
-        let mut g = if n * n >= PAR_THRESHOLD && k >= 8 {
-            let nchunks = rayon::current_num_threads().max(1);
-            let chunk = k.div_ceil(nchunks).max(1);
-            let partials: Vec<Matrix> = (0..k)
-                .into_par_iter()
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(k);
-                    let mut acc = Matrix::zeros(n, n);
-                    for i in start..end {
-                        let row = self.row(i);
-                        rank1_upper(&mut acc, row);
-                    }
-                    acc
-                })
-                .collect();
-            let mut g = Matrix::zeros(n, n);
-            for p in &partials {
-                g.add_assign(p);
-            }
-            g
-        } else {
-            let mut g = Matrix::zeros(n, n);
-            for i in 0..k {
-                let row = self.row(i);
-                rank1_upper(&mut g, row);
-            }
-            g
-        };
-        mirror_upper(&mut g);
+        let mut g = Matrix::zeros(self.cols(), self.cols());
+        self.gram_into(&mut g);
         g
     }
 
+    /// `selfᵀ · self` into a reusable output matrix.
+    pub fn gram_into(&self, out: &mut Matrix) {
+        let n = self.cols();
+        out.reset_for(n, n);
+        gemm_symmetric_into(
+            View::t(self.as_slice(), self.rows(), n),
+            View::new(self.as_slice(), self.rows(), n),
+            out.as_mut_slice(),
+        );
+    }
+
     /// Gram matrix `self · selfᵀ` (per-row inner products), used for the
-    /// gradient factor `G = g gᵀ / batch`.
+    /// gradient factor `G = g gᵀ / batch`. Bitwise symmetric.
     pub fn gram_nt(&self) -> Matrix {
-        let mut g = self.matmul_nt(self);
-        g.symmetrize();
+        let mut g = Matrix::zeros(self.rows(), self.rows());
+        self.gram_nt_into(&mut g);
         g
+    }
+
+    /// `self · selfᵀ` into a reusable output matrix.
+    pub fn gram_nt_into(&self, out: &mut Matrix) {
+        let m = self.rows();
+        out.reset_for(m, m);
+        gemm_symmetric_into(
+            View::new(self.as_slice(), m, self.cols()),
+            View::t(self.as_slice(), m, self.cols()),
+            out.as_mut_slice(),
+        );
     }
 
     /// Matrix–vector product `self · x`.
@@ -240,31 +154,23 @@ impl Matrix {
     }
 }
 
-/// Accumulate the upper triangle of the rank-one update `acc += row rowᵀ`.
-#[inline]
-fn rank1_upper(acc: &mut Matrix, row: &[f32]) {
-    let n = row.len();
-    for j in 0..n {
-        let rj = row[j];
-        if rj == 0.0 {
-            continue;
-        }
-        let acc_row = acc.row_mut(j);
-        for l in j..n {
-            acc_row[l] += rj * row[l];
-        }
-    }
-}
-
-/// Copy the upper triangle onto the lower triangle.
-fn mirror_upper(g: &mut Matrix) {
-    let n = g.rows();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let v = g[(i, j)];
-            g[(j, i)] = v;
+/// Naive triple-loop reference multiply with `f64` accumulation — the
+/// oracle the packed kernels are property-tested against, and the "old
+/// kernel" baseline the kernel benchmarks report speedups over.
+#[doc(hidden)]
+pub fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "reference_matmul dimension mismatch");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for p in 0..a.cols() {
+                acc += a[(i, p)] as f64 * b[(p, j)] as f64;
+            }
+            c[(i, j)] = acc as f32;
         }
     }
+    c
 }
 
 #[cfg(test)]
@@ -275,21 +181,6 @@ mod tests {
     fn random(rows: usize, cols: usize, rng: &mut Rng64) -> Matrix {
         let data = (0..rows * cols).map(|_| rng.normal_f32()).collect();
         Matrix::from_vec(rows, cols, data)
-    }
-
-    /// Naive triple-loop reference multiply.
-    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut c = Matrix::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
-                let mut acc = 0.0f64;
-                for p in 0..a.cols() {
-                    acc += a[(i, p)] as f64 * b[(p, j)] as f64;
-                }
-                c[(i, j)] = acc as f32;
-            }
-        }
-        c
     }
 
     #[test]
@@ -310,9 +201,9 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_reference() {
+    fn packed_path_matches_reference() {
         let mut rng = Rng64::new(2);
-        // Big enough to trip the PAR_THRESHOLD.
+        // Big enough for the packed parallel path.
         let a = random(96, 48, &mut rng);
         let b = random(48, 96, &mut rng);
         let c = a.matmul(&b);
@@ -364,6 +255,21 @@ mod tests {
         let r = a.matmul(&a.transpose());
         assert!(g.max_abs_diff(&r) < 2e-3);
         assert_eq!(g.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn into_variants_reuse_storage() {
+        let mut rng = Rng64::new(7);
+        let a = random(40, 30, &mut rng);
+        let b = random(30, 20, &mut rng);
+        let mut out = Matrix::zeros(40, 20);
+        let ptr = out.as_slice().as_ptr();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.as_slice().as_ptr(), ptr, "no reallocation");
+        assert!(out.max_abs_diff(&a.matmul(&b)) == 0.0);
+        // Reuse the same buffer for a smaller product.
+        a.gram_into(&mut out);
+        assert_eq!(out.shape(), (30, 30));
     }
 
     #[test]

@@ -169,6 +169,17 @@ impl Matrix {
         self.data[i * self.cols + j] = v;
     }
 
+    /// Reshape in place for buffer reuse: keeps the backing allocation
+    /// when capacity allows and leaves the contents unspecified (stale
+    /// values from the previous use; only a grown tail is zero-filled).
+    /// The zero-alloc hot paths call this on persistent per-layer scratch
+    /// matrices before writing them front to back.
+    pub fn reset_for(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Return the transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

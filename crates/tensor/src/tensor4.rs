@@ -112,6 +112,18 @@ impl Tensor4 {
         self.data
     }
 
+    /// Reshape in place for buffer reuse: keeps the backing allocation
+    /// when capacity allows and leaves the contents unspecified (stale
+    /// values from the previous use; only a grown tail is zero-filled).
+    /// Mirrors [`Matrix::reset_for`](crate::Matrix::reset_for).
+    pub fn reset_for(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        self.data.resize(n * c * h * w, 0.0);
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+    }
+
     /// Borrow the `(c,h,w)` block of sample `n` as a contiguous slice.
     #[inline]
     pub fn sample(&self, n: usize) -> &[f32] {

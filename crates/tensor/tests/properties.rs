@@ -4,6 +4,7 @@
 //! Kronecker identities of §II-C, spectral reconstruction, and
 //! factorization round-trips.
 
+use kfac_tensor::matmul::reference_matmul;
 use kfac_tensor::{eigh, invert, kron, kron_matvec, Matrix, Rng64};
 use proptest::prelude::*;
 
@@ -147,5 +148,130 @@ proptest! {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed GEMM vs the naive reference on adversarial shapes.
+//
+// The packed kernel has edge behaviour at every tile boundary (MR=8 rows,
+// NR=16 columns, MC=64-row parallel blocks, KC=256-deep cache blocks) plus
+// degenerate dimensions (empty operands, row/column vectors, k=0). These
+// tests drive exactly those edges against the f64-accumulating reference
+// and pin the structural-determinism guarantee across pool sizes.
+// ---------------------------------------------------------------------------
+
+/// Dimensions straddling every packing edge: empty, vectors, exact tile
+/// multiples, and off-by-one values around the MR/NR/MC boundaries.
+fn edge_dim() -> impl Strategy<Value = usize> {
+    const DIMS: [usize; 13] = [0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100];
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::new(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.normal_f32()).collect(),
+    )
+}
+
+/// Absolute tolerance for an f32 dot of length `k` against the f64
+/// reference, for unit-normal entries.
+fn dot_tol(k: usize) -> f32 {
+    1e-4 * ((k as f32).sqrt() + 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Packed `A·B` matches the naive f64 reference on adversarial shapes.
+    #[test]
+    fn packed_matmul_matches_reference(
+        m in edge_dim(), k in edge_dim(), n in edge_dim(), seed in any::<u64>(),
+    ) {
+        let a = seeded(m, k, seed);
+        let b = seeded(k, n, seed ^ 0x9e3779b97f4a7c15);
+        let c = a.matmul(&b);
+        let r = reference_matmul(&a, &b);
+        prop_assert_eq!(c.shape(), (m, n));
+        prop_assert!(c.max_abs_diff(&r) <= dot_tol(k), "diff {}", c.max_abs_diff(&r));
+    }
+
+    /// Fused-transpose kernels match the reference through explicit
+    /// transposes on the same adversarial shapes.
+    #[test]
+    fn packed_transpose_kernels_match_reference(
+        m in edge_dim(), k in edge_dim(), n in edge_dim(), seed in any::<u64>(),
+    ) {
+        let at = seeded(k, m, seed);
+        let b = seeded(k, n, seed ^ 0xdeadbeef);
+        let tn = at.matmul_tn(&b);
+        prop_assert!(tn.max_abs_diff(&reference_matmul(&at.transpose(), &b)) <= dot_tol(k));
+
+        let a = seeded(m, k, seed ^ 0xabcdef);
+        let bt = seeded(n, k, seed ^ 0x123456);
+        let nt = a.matmul_nt(&bt);
+        prop_assert!(nt.max_abs_diff(&reference_matmul(&a, &bt.transpose())) <= dot_tol(k));
+    }
+
+    /// Gram kernels match the reference and are *bitwise* symmetric on
+    /// adversarial shapes (the mirror pass must cover every tile split).
+    #[test]
+    fn packed_gram_matches_reference(
+        rows in edge_dim(), cols in edge_dim(), seed in any::<u64>(),
+    ) {
+        let x = seeded(rows, cols, seed);
+        let g = x.gram();
+        prop_assert_eq!(g.asymmetry(), 0.0);
+        prop_assert!(g.max_abs_diff(&reference_matmul(&x.transpose(), &x)) <= dot_tol(rows));
+
+        let gnt = x.gram_nt();
+        prop_assert_eq!(gnt.asymmetry(), 0.0);
+        prop_assert!(gnt.max_abs_diff(&reference_matmul(&x, &x.transpose())) <= dot_tol(cols));
+    }
+
+    /// Results are bitwise identical across pool sizes 1/2/4/8 — the
+    /// structural-determinism guarantee the distributed trainer's
+    /// cross-rank reproducibility rests on.
+    #[test]
+    fn packed_gemm_bitwise_deterministic_across_pool_sizes(
+        m in edge_dim(), k in edge_dim(), n in edge_dim(), seed in any::<u64>(),
+    ) {
+        let a = seeded(m, k, seed);
+        let b = seeded(k, n, seed ^ 0x5bf03635);
+        let mut products: Vec<Matrix> = Vec::new();
+        let mut grams: Vec<Matrix> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            rayon::set_pool_threads(threads);
+            products.push(a.matmul(&b));
+            grams.push(a.gram());
+        }
+        rayon::set_pool_threads(1);
+        for p in &products[1..] {
+            prop_assert_eq!(p.as_slice(), products[0].as_slice());
+        }
+        for g in &grams[1..] {
+            prop_assert_eq!(g.as_slice(), grams[0].as_slice());
+        }
+    }
+}
+
+/// Deep-`k` products cross multiple KC=256 cache blocks — the first-touch
+/// store/accumulate split in the micro-kernel must hand off correctly at
+/// every block seam (proptest shapes above stay below one block).
+#[test]
+fn packed_gemm_crosses_kc_blocks() {
+    for (m, k, n) in [(9, 255, 17), (70, 256, 33), (65, 257, 16), (130, 600, 31)] {
+        let a = seeded(m, k, 42);
+        let b = seeded(k, n, 43);
+        let c = a.matmul(&b);
+        let r = reference_matmul(&a, &b);
+        assert!(
+            c.max_abs_diff(&r) <= dot_tol(k),
+            "({m},{k},{n}) diff {}",
+            c.max_abs_diff(&r)
+        );
     }
 }

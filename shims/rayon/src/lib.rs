@@ -1,32 +1,233 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a persistent worker pool.
 //!
 //! The build container has no access to crates.io, so the workspace
 //! patches `rayon` to this crate (see the root `Cargo.toml`). It provides
 //! exactly the data-parallel subset the kfac-rs kernels use —
 //! `par_chunks_mut`, `into_par_iter` over ranges, `map`/`for_each`/
-//! `collect`, and [`current_num_threads`] — executed on scoped OS threads
-//! with work split into contiguous per-thread chunks.
+//! `collect`, and [`current_num_threads`] — with semantics matching rayon
+//! where it matters for the kernels: items are processed exactly once,
+//! `collect` preserves input order, closures only need `Sync` (they are
+//! shared by reference across workers), and a panic inside a worker
+//! closure propagates to the caller of the parallel operation.
 //!
-//! Semantics match rayon where it matters for the kernels: items are
-//! processed exactly once, `collect` preserves input order, and closures
-//! only need `Sync` (they are shared by reference across workers). Unlike
-//! rayon there is no persistent thread pool; each parallel call spawns
-//! scoped threads, so very fine-grained calls pay thread-spawn latency.
-//! The kernels already gate parallelism behind size thresholds, which
-//! keeps that cost off the hot path.
+//! Unlike the original shim, which spawned fresh scoped OS threads on
+//! every parallel call, this version keeps one lazily-started global pool
+//! of parked workers for the life of the process, so fine-grained
+//! parallel calls inside the GEMM/im2col kernels pay a queue push and a
+//! wake instead of `clone(2)` per call.
+//!
+//! ## Scheduling model
+//!
+//! Each parallel call splits its items into contiguous chunks and
+//! publishes one shared *batch* descriptor. Workers (and the calling
+//! thread itself) claim chunk indices from an atomic cursor and process
+//! them; the caller always participates, so a call makes progress even
+//! when every pool worker is busy with other batches — nested parallel
+//! calls therefore cannot deadlock. The caller returns only once every
+//! chunk of its batch has completed, which is what makes the borrowed
+//! (non-`'static`) closures sound.
+//!
+//! ## Configuration
+//!
+//! The pool size defaults to the machine's available parallelism and can
+//! be pinned with the `KFAC_POOL_THREADS` environment variable (read
+//! once, at first use; `KFAC_POOL_THREADS=1` forces the inline sequential
+//! path, which CI exercises). Tests may resize the pool at runtime with
+//! [`set_pool_threads`] — kernel results are bitwise independent of the
+//! pool size by construction, and the determinism suite verifies that.
 
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of worker threads a parallel call will use — the machine's
-/// available parallelism (rayon reports its pool size here).
-pub fn current_num_threads() -> usize {
+// ---------------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------------
+
+/// A queued unit of pool work: "help execute this batch". The closure is
+/// `'static` because it only captures an `Arc` to the batch descriptor.
+type HelpJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<HelpJob>,
+    /// Number of worker threads the pool should present. Workers beyond
+    /// this target (after a shrink via [`set_pool_threads`]) exit.
+    target: usize,
+    /// Number of worker threads currently spawned.
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+impl Pool {
+    fn push_jobs(&self, jobs: Vec<HelpJob>) {
+        let mut st = self.state.lock().expect("pool mutex");
+        for job in jobs {
+            st.queue.push_back(job);
+        }
+        self.spawn_up_to_target(&mut st);
+        drop(st);
+        self.work_ready.notify_all();
+    }
+
+    /// Ensure `target - 1` helper threads exist (the calling thread is
+    /// always the N-th worker of its own batch).
+    fn spawn_up_to_target(&self, st: &mut PoolState) {
+        let want = st.target.saturating_sub(1);
+        while st.spawned < want {
+            st.spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("kfac-pool-{}", st.spawned))
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            target: default_threads(),
+            spawned: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("KFAC_POOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// Run `f` over `items`, splitting them into one contiguous chunk per
-/// worker thread. Returns outputs in input order.
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("pool mutex");
+            loop {
+                // Exit quietly if the pool shrank below our rank.
+                if st.spawned > st.target.saturating_sub(1) {
+                    st.spawned -= 1;
+                    return;
+                }
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                st = pool.work_ready.wait(st).expect("pool condvar");
+            }
+        };
+        job();
+    }
+}
+
+/// Number of worker threads a parallel call will use (rayon reports its
+/// pool size here). Defaults to the machine's available parallelism,
+/// overridable with `KFAC_POOL_THREADS`.
+pub fn current_num_threads() -> usize {
+    pool().state.lock().expect("pool mutex").target
+}
+
+/// Resize the pool (test hook; not part of rayon's API). Kernel results
+/// are bitwise independent of the pool size — the determinism property
+/// tests drive this across 1/2/4/8 threads.
+pub fn set_pool_threads(n: usize) {
+    let p = pool();
+    let mut st = p.state.lock().expect("pool mutex");
+    st.target = n.max(1);
+    p.spawn_up_to_target(&mut st);
+    drop(st);
+    // Wake parked workers so supernumerary ones can exit.
+    p.work_ready.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution: one parallel call = one Batch shared with the pool.
+// ---------------------------------------------------------------------------
+
+/// Everything a worker needs to help with one parallel call. Items and
+/// the closure live on the caller's stack; `Batch` erases their
+/// lifetimes behind raw pointers. The `Batch` itself is shared via `Arc`
+/// so a stale help job (one that starts after the call already finished)
+/// can still safely observe the exhausted cursor and return; the raw
+/// `ctx` pointer is only ever dereferenced for a *claimed* chunk, and the
+/// caller cannot return before every chunk is claimed and completed.
+/// Panic payload captured from a worker closure, re-raised on the caller.
+type ChunkPanic = Box<dyn std::any::Any + Send>;
+
+struct Batch {
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Chunks fully processed.
+    completed: AtomicUsize,
+    chunks: usize,
+    chunk_size: usize,
+    items: usize,
+    /// Type-erased `&(items_ptr, results_ptr, closure_ptr)` tuple owned by
+    /// the caller's stack frame; `run_chunk` downcasts it.
+    ctx: *const (),
+    run_chunk: fn(*const (), Range<usize>) -> Result<(), ChunkPanic>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Set when a closure panicked; remaining chunks are drained (items
+    /// dropped, results skipped) and the caller re-panics.
+    poisoned: AtomicUsize,
+    /// First panic payload, re-raised on the calling thread.
+    panic_payload: Mutex<Option<ChunkPanic>>,
+}
+
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claim and run chunks until the batch is exhausted. Returns after
+    /// the cursor runs out (other claimed chunks may still be running).
+    fn help(&self) {
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                return;
+            }
+            let start = c * self.chunk_size;
+            let end = ((c + 1) * self.chunk_size).min(self.items);
+            if let Err(payload) = (self.run_chunk)(self.ctx, start..end) {
+                let mut slot = self.panic_payload.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+                drop(slot);
+                self.poisoned.store(1, Ordering::Release);
+            }
+            let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            if done == self.chunks {
+                let mut flag = self.done.lock().expect("batch mutex");
+                *flag = true;
+                drop(flag);
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut flag = self.done.lock().expect("batch mutex");
+        while !*flag {
+            flag = self.done_cv.wait(flag).expect("batch condvar");
+        }
+    }
+}
+
+/// Run `f` over `items` on the pool, returning outputs in input order.
+/// Panics in `f` propagate to the caller (after all chunks finish).
 fn execute<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
 where
     I: Send,
@@ -35,34 +236,114 @@ where
 {
     let n = items.len();
     let workers = current_num_threads().min(n);
-    if workers <= 1 {
+    if workers <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<I> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
+
+    // Split into ~4 chunks per worker so an early-finishing worker can
+    // keep helping; the chunk boundaries never influence results (each
+    // item is mapped independently, outputs land in fixed slots).
+    let chunks = (workers * 4).min(n);
+    let chunk_size = n.div_ceil(chunks);
+    let chunks = n.div_ceil(chunk_size);
+
+    let mut items = items;
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    {
+        // Context shared with workers: raw pointers into this frame.
+        struct Ctx<I, R, F> {
+            items: *mut I,
+            results: *mut Option<R>,
+            f: *const F,
         }
-        chunks.push(c);
+        let ctx = Ctx {
+            items: items.as_mut_ptr(),
+            results: results.as_mut_ptr(),
+            f: f as *const F,
+        };
+
+        fn run_chunk<I, R, F>(ctx: *const (), range: Range<usize>) -> Result<(), ChunkPanic>
+        where
+            F: Fn(I) -> R + Sync,
+        {
+            let ctx = unsafe { &*(ctx as *const Ctx<I, R, F>) };
+            let f = unsafe { &*ctx.f };
+            catch_unwind(AssertUnwindSafe(|| {
+                for i in range {
+                    // Each index is claimed by exactly one chunk, so this
+                    // reads/writes each slot exactly once.
+                    unsafe {
+                        let item = std::ptr::read(ctx.items.add(i));
+                        std::ptr::write(ctx.results.add(i), Some(f(item)));
+                    }
+                }
+            }))
+        }
+
+        let batch = Arc::new(Batch {
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            chunks,
+            chunk_size,
+            items: n,
+            ctx: &ctx as *const Ctx<I, R, F> as *const (),
+            run_chunk: run_chunk::<I, R, F>,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            poisoned: AtomicUsize::new(0),
+            panic_payload: Mutex::new(None),
+        });
+
+        // Publish help jobs: each is a thin shim that calls batch.help()
+        // through its own Arc, so a job that only starts after this call
+        // finished merely observes the exhausted cursor and returns —
+        // without ever touching the (then dangling) `ctx` pointer.
+        let helpers = (workers - 1).min(chunks.saturating_sub(1));
+        let mut jobs: Vec<HelpJob> = Vec::with_capacity(helpers);
+        for _ in 0..helpers {
+            let b = Arc::clone(&batch);
+            jobs.push(Box::new(move || b.help()));
+        }
+        pool().push_jobs(jobs);
+
+        // The caller is a full participant; this also guarantees the call
+        // completes even if no pool worker ever picks up a help job (a
+        // saturated pool, or one resized to a single thread mid-call).
+        batch.help();
+        batch.wait();
+
+        let poisoned = batch.poisoned.load(Ordering::Acquire) != 0;
+        // Items were moved out by ptr::read; stop the Vec from dropping them.
+        unsafe { items.set_len(0) };
+        if poisoned {
+            // Results written so far drop normally via the Option slots;
+            // items in panicked chunks leak their tail, matching the
+            // "abort the parallel op" semantics of a propagated panic.
+            drop(results);
+            let payload = batch
+                .panic_payload
+                .lock()
+                .expect("panic slot")
+                .take()
+                .unwrap_or_else(|| Box::new("rayon-shim worker panicked"));
+            resume_unwind(payload);
+        }
     }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("rayon-shim worker panicked"));
-        }
-        out
-    })
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk completed"))
+        .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Public iterator surface (unchanged API).
+// ---------------------------------------------------------------------------
+
 /// An eagerly materialized parallel iterator: adapters reshape the item
-/// list; the terminal `for_each`/`collect` runs across threads.
+/// list; the terminal `for_each`/`collect` runs across the pool.
 pub struct ParIter<I> {
     items: Vec<I>,
 }
@@ -82,7 +363,7 @@ impl<I: Send> ParIter<I> {
         }
     }
 
-    /// Lazily map items; the closure runs on the worker threads.
+    /// Lazily map items; the closure runs on the pool workers.
     pub fn map<R, F>(self, f: F) -> ParMap<I, F>
     where
         R: Send,
@@ -94,7 +375,7 @@ impl<I: Send> ParIter<I> {
         }
     }
 
-    /// Apply `f` to every item across the worker threads.
+    /// Apply `f` to every item across the pool workers.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(I) + Sync,
@@ -115,7 +396,7 @@ pub struct ParMap<I, F> {
 }
 
 impl<I, F> ParMap<I, F> {
-    /// Run the map across worker threads and collect in input order.
+    /// Run the map across pool workers and collect in input order.
     pub fn collect<R, C>(self) -> C
     where
         I: Send,
@@ -212,6 +493,7 @@ mod tests {
 
     #[test]
     fn par_chunks_mut_touches_every_chunk_once() {
+        set_pool_threads(4);
         let mut data = vec![0u32; 1000];
         data.as_mut_slice()
             .par_chunks_mut(7)
@@ -229,6 +511,7 @@ mod tests {
 
     #[test]
     fn range_map_collect_preserves_order() {
+        set_pool_threads(4);
         let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
@@ -252,5 +535,61 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        set_pool_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // The pool survives a propagated panic.
+        let out: Vec<usize> = (0..32usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out[31], 32);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        set_pool_threads(4);
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let prods: Vec<usize> = (0..64usize).into_par_iter().map(|j| i * j).collect();
+                prods.iter().sum::<usize>()
+            })
+            .collect();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * (0..64).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn resize_pool_up_and_down() {
+        set_pool_threads(8);
+        assert_eq!(current_num_threads(), 8);
+        let a: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 3).collect();
+        set_pool_threads(2);
+        assert_eq!(current_num_threads(), 2);
+        let b: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(a, b);
+        set_pool_threads(1);
+        let c: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn many_small_calls_are_cheap() {
+        set_pool_threads(4);
+        // Regression guard for the spawn-per-call behaviour this pool
+        // replaces: 10k tiny calls should complete quickly.
+        for _ in 0..10_000 {
+            let v: Vec<usize> = (0..8usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(v.iter().sum::<usize>(), 28);
+        }
     }
 }
