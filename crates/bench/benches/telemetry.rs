@@ -6,7 +6,7 @@
 //! `cargo bench -p kfac-bench --bench telemetry`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use kfac_telemetry::{Registry, Span};
+use kfac_telemetry::{export, MetricsSnapshot, Registry, Span};
 
 fn bench_span(c: &mut Criterion) {
     let mut group = c.benchmark_group("span");
@@ -52,5 +52,45 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_span, bench_metrics);
+/// A registry shaped like a real 4-rank K-FAC smoke run: per-layer
+/// spectrum gauges, traffic counters, and timing histograms.
+fn populated_registry() -> Registry {
+    let registry = Registry::new();
+    for li in 0..32 {
+        for kind in ["a", "g"] {
+            registry
+                .gauge(&format!("kfac/layer{li}/{kind}_cond"))
+                .set(1.0 + li as f64);
+        }
+    }
+    for name in ["comm/ops", "comm/bytes/gradient", "comm/bytes/factor"] {
+        registry.counter(name).add(123_456);
+    }
+    for name in ["train/iter_time_us", "kfac/cond", "kfac/lambda_max"] {
+        let h = registry.histogram(name);
+        for i in 0..512 {
+            h.record(1.0 + i as f64);
+        }
+    }
+    registry
+}
+
+/// Live-observability costs: the flight recorder's periodic snapshot
+/// (runs once per training step when attached) and the Prometheus
+/// exposition (runs once per `/metrics` scrape).
+fn bench_observability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observability");
+    group.sample_size(20);
+    let registry = populated_registry();
+
+    group.bench_function("metrics_snapshot_capture", |bench| {
+        bench.iter(|| std::hint::black_box(MetricsSnapshot::capture(&registry)));
+    });
+    group.bench_function("prometheus_exposition", |bench| {
+        bench.iter(|| std::hint::black_box(export::prometheus(&registry)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_span, bench_metrics, bench_observability);
 criterion_main!(benches);

@@ -72,6 +72,11 @@ impl RetryPolicy {
                     if !e.is_retryable() || tried >= self.max_attempts.max(1) {
                         return Err(e);
                     }
+                    // Feed the watchdog's retry-rate rule: count only
+                    // retries actually taken (not terminal failures).
+                    if let Some((registry, _)) = kfac_telemetry::current() {
+                        registry.counter("comm/retries").inc();
+                    }
                     let pause = self.backoff(tried - 1);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);

@@ -200,6 +200,15 @@ impl ThreadComm {
     fn record(&self, class: TrafficClass, bytes: u64) {
         self.traffic.record(class, bytes);
         self.shared.traffic.record(class, bytes);
+        // Mirror into the ambient telemetry registry (when installed) so
+        // the live metrics plane can serve traffic without reaching into
+        // communicator internals. Only the per-rank counter is mirrored:
+        // every rank mirrors its own ops, so the registry total equals
+        // the group total without double counting the shared counter.
+        if let Some((registry, _)) = kfac_telemetry::current() {
+            registry.counter("comm/ops").inc();
+            registry.counter(class.byte_counter_name()).add(bytes);
+        }
     }
 }
 

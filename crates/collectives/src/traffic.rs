@@ -38,6 +38,18 @@ impl TrafficClass {
         }
     }
 
+    /// Registry counter name for this class's byte volume, as mirrored
+    /// into the ambient telemetry registry and served at `/metrics`.
+    pub fn byte_counter_name(self) -> &'static str {
+        match self {
+            TrafficClass::Gradient => "comm/bytes/gradient",
+            TrafficClass::Factor => "comm/bytes/factor",
+            TrafficClass::Eigen => "comm/bytes/eigen",
+            TrafficClass::Precond => "comm/bytes/precond",
+            TrafficClass::Other => "comm/bytes/other",
+        }
+    }
+
     /// Scheduling priority for the exec ready queue; higher runs first
     /// when several tasks are ready. Gradient traffic blocks the next
     /// optimizer step every iteration, so it outranks the K-FAC stages,

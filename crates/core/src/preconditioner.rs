@@ -92,6 +92,20 @@ pub struct Kfac {
     /// second-order state was available yet (atomic: counted from the
     /// read-only preconditioning path).
     identity_preconds: std::sync::atomic::AtomicU64,
+    /// Iteration of the last completed second-order update; feeds the
+    /// `kfac/staleness_age` probe (a read-only observability value —
+    /// never an input to the update math).
+    last_eig_iter: u64,
+    /// Worst condition number in the second-order pass currently being
+    /// computed (running max across this rank's factors).
+    pending_max_cond: f64,
+    /// Worst condition number of the most recent completed pass.
+    max_cond: f64,
+    /// f64 bits of the last KL-clip ν (atomic: recorded from the
+    /// `&self` apply path).
+    last_nu_bits: std::sync::atomic::AtomicU64,
+    /// f64 bits of the last ‖preconditioned‖/‖raw‖ gradient norm ratio.
+    precond_ratio_bits: std::sync::atomic::AtomicU64,
 }
 
 impl Kfac {
@@ -126,6 +140,11 @@ impl Kfac {
             stale_factor_steps: 0,
             eig_fallbacks: 0,
             identity_preconds: std::sync::atomic::AtomicU64::new(0),
+            last_eig_iter: 0,
+            pending_max_cond: 0.0,
+            max_cond: 0.0,
+            last_nu_bits: std::sync::atomic::AtomicU64::new(0f64.to_bits()),
+            precond_ratio_bits: std::sync::atomic::AtomicU64::new(0f64.to_bits()),
         }
     }
 
@@ -155,6 +174,14 @@ impl Kfac {
         stats.identity_preconds = self
             .identity_preconds
             .load(std::sync::atomic::Ordering::Relaxed);
+        stats.max_cond = self.max_cond;
+        stats.last_nu =
+            f64::from_bits(self.last_nu_bits.load(std::sync::atomic::Ordering::Relaxed));
+        stats.precond_ratio = f64::from_bits(
+            self.precond_ratio_bits
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+        stats.staleness_age = self.iteration.saturating_sub(self.last_eig_iter);
         if let Some((registry, rank)) = &self.telemetry {
             // Spans publish in batches; push this thread's tail so the
             // view is exact at the moment of the snapshot.
@@ -190,6 +217,12 @@ impl Kfac {
         self.epoch = epoch;
         self.damping = self.cfg.damping_at(epoch);
         self.update_freq = self.cfg.update_freq_at(epoch);
+        if let Some((registry, _)) = &self.telemetry {
+            registry.gauge("kfac/damping").set(self.damping as f64);
+            registry
+                .gauge("kfac/update_freq")
+                .set(self.update_freq as f64);
+        }
     }
 
     /// Whether the *next* [`Kfac::step`] will recompute factors — the
@@ -424,21 +457,33 @@ impl Kfac {
     /// decomposition degrades to the damped identity instead of
     /// panicking; the fallback is counted in `kfac/eig_fallbacks`.
     fn compute_second_order(&mut self, id: usize) -> FactorSecondOrder {
-        let avg = self.averages[id]
-            .as_ref()
-            .expect("factor average exists before second-order update");
         let so = match self.cfg.inversion {
-            InversionMethod::Eigen => decompose_factor_with(avg, self.cfg.eigen_solver)
-                .ok()
-                .filter(|e| {
-                    e.eigenvalues.iter().all(|v| v.is_finite())
-                        && e.eigenvectors.as_slice().iter().all(|v| v.is_finite())
-                })
-                .map(FactorSecondOrder::Eigen),
-            InversionMethod::ExplicitInverse => invert_factor(avg, self.damping)
-                .ok()
-                .filter(|m| m.as_slice().iter().all(|v| v.is_finite()))
-                .map(FactorSecondOrder::Inverse),
+            InversionMethod::Eigen => {
+                let eig = {
+                    let avg = self.averages[id]
+                        .as_ref()
+                        .expect("factor average exists before second-order update");
+                    decompose_factor_with(avg, self.cfg.eigen_solver)
+                        .ok()
+                        .filter(|e| {
+                            e.eigenvalues.iter().all(|v| v.is_finite())
+                                && e.eigenvectors.as_slice().iter().all(|v| v.is_finite())
+                        })
+                };
+                if let Some(e) = &eig {
+                    self.record_spectrum(id, e);
+                }
+                eig.map(FactorSecondOrder::Eigen)
+            }
+            InversionMethod::ExplicitInverse => {
+                let avg = self.averages[id]
+                    .as_ref()
+                    .expect("factor average exists before second-order update");
+                invert_factor(avg, self.damping)
+                    .ok()
+                    .filter(|m| m.as_slice().iter().all(|v| v.is_finite()))
+                    .map(FactorSecondOrder::Inverse)
+            }
         };
         match so {
             Some(so) => so,
@@ -447,6 +492,45 @@ impl Kfac {
                 self.identity_second_order(id)
             }
         }
+    }
+
+    /// Probe: per-factor eigen-spectrum summary — λ_min, λ_max, and
+    /// condition number as per-layer gauges plus run-wide histograms.
+    /// Pure observability: values are *read* from the decomposition and
+    /// never feed back into the update, and nothing at all is computed
+    /// when no telemetry recorder was installed at construction.
+    fn record_spectrum(&mut self, id: usize, eig: &kfac_tensor::EigenDecomposition) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &eig.eigenvalues {
+            lo = lo.min(v as f64);
+            hi = hi.max(v as f64);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return;
+        }
+        // Factors are PSD; clamp λ_min away from zero so the condition
+        // number stays finite for rank-deficient factors.
+        let cond = hi / lo.max(1e-12);
+        self.pending_max_cond = self.pending_max_cond.max(cond);
+        let (registry, _) = self.telemetry.as_ref().expect("checked above");
+        let li = id / 2;
+        let kind = if id.is_multiple_of(2) { "a" } else { "g" };
+        registry
+            .gauge(&format!("kfac/layer{li}/{kind}_lambda_min"))
+            .set(lo);
+        registry
+            .gauge(&format!("kfac/layer{li}/{kind}_lambda_max"))
+            .set(hi);
+        registry
+            .gauge(&format!("kfac/layer{li}/{kind}_cond"))
+            .set(cond);
+        registry.histogram("kfac/lambda_min").record(lo);
+        registry.histogram("kfac/lambda_max").record(hi);
+        registry.histogram("kfac/cond").record(cond);
     }
 
     /// Wire length (f32 words) of one factor's second-order payload.
@@ -564,9 +648,19 @@ impl Kfac {
     }
 
     /// Phase: record that a second-order update completed (statistics
-    /// only).
+    /// only). Also rolls the spectrum probe over: the running max
+    /// condition number of the pass that just finished becomes the
+    /// reported `max_cond`, and factor staleness resets to zero.
     pub fn note_eig_update(&mut self) {
         self.eig_updates += 1;
+        self.last_eig_iter = self.iteration;
+        if self.pending_max_cond > 0.0 {
+            self.max_cond = self.pending_max_cond;
+            self.pending_max_cond = 0.0;
+        }
+        if let Some((registry, _)) = &self.telemetry {
+            registry.gauge("kfac/max_cond").set(self.max_cond);
+        }
     }
 
     /// Staged second-order update, step 1: compute this rank's owned
@@ -740,6 +834,39 @@ impl Kfac {
             Some(kappa) => kl_clip_nu(preconds.iter().zip(grads.iter()), kappa, lr),
             None => 1.0,
         };
+        self.last_nu_bits
+            .store((nu as f64).to_bits(), std::sync::atomic::Ordering::Relaxed);
+        if let Some((registry, _)) = &self.telemetry {
+            // Trajectory probes, once per iteration. Read-only over the
+            // already-computed gradients; skipped entirely (norms never
+            // even computed) when monitoring is off.
+            registry.gauge("kfac/kl_nu").set(nu as f64);
+            registry
+                .gauge("kfac/staleness_age")
+                .set(self.iteration.saturating_sub(self.last_eig_iter) as f64);
+            let mut pg_sq = 0.0f64;
+            let mut g_sq = 0.0f64;
+            for (pg, g) in preconds.iter().zip(grads.iter()) {
+                pg_sq += pg
+                    .as_slice()
+                    .iter()
+                    .map(|&v| (v as f64) * v as f64)
+                    .sum::<f64>();
+                g_sq += g
+                    .as_slice()
+                    .iter()
+                    .map(|&v| (v as f64) * v as f64)
+                    .sum::<f64>();
+            }
+            let ratio = if g_sq > 0.0 {
+                (pg_sq / g_sq).sqrt()
+            } else {
+                0.0
+            };
+            self.precond_ratio_bits
+                .store(ratio.to_bits(), std::sync::atomic::Ordering::Relaxed);
+            registry.gauge("kfac/precond_ratio").set(ratio);
+        }
         for (layer, pg) in layers.iter_mut().zip(preconds) {
             if nu != 1.0 {
                 let mut scaled = pg.clone();
@@ -887,6 +1014,10 @@ impl Kfac {
         if !r.0.is_empty() {
             return Err("trailing bytes in kfac state".into());
         }
+        // Probe state is not serialized (the version-1 format predates
+        // it and it never feeds the math); a restored instance starts
+        // with fresh second-order state, so staleness resets here.
+        self.last_eig_iter = self.iteration;
         Ok(())
     }
 }

@@ -36,6 +36,18 @@ pub struct StageStats {
     /// Layer preconditionings that ran with no second-order state at
     /// all (implicit damped identity).
     pub identity_preconds: u64,
+    /// Worst per-factor condition number seen in the most recent
+    /// second-order update on this rank (0 when none yet, or when no
+    /// telemetry recorder is installed).
+    pub max_cond: f64,
+    /// KL-clip scale ν applied on the most recent iteration (1 = no
+    /// clipping; 0 when no iteration has run).
+    pub last_nu: f64,
+    /// ‖preconditioned grad‖ / ‖raw grad‖ on the most recent iteration
+    /// (0 when no telemetry recorder is installed).
+    pub precond_ratio: f64,
+    /// Iterations elapsed since the last completed second-order update.
+    pub staleness_age: u64,
 }
 
 impl StageStats {
@@ -93,6 +105,17 @@ impl StageStats {
         self.stale_factor_steps += other.stale_factor_steps;
         self.eig_fallbacks += other.eig_fallbacks;
         self.identity_preconds += other.identity_preconds;
+        // Numerics probes are point-in-time, not additive: a group-wide
+        // view keeps the worst conditioning/staleness and the most
+        // recent scalar trajectory values.
+        self.max_cond = self.max_cond.max(other.max_cond);
+        self.staleness_age = self.staleness_age.max(other.staleness_age);
+        if other.last_nu != 0.0 {
+            self.last_nu = other.last_nu;
+        }
+        if other.precond_ratio != 0.0 {
+            self.precond_ratio = other.precond_ratio;
+        }
     }
 }
 

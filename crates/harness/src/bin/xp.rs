@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! xp <experiment> [--scale smoke|quick|full] [--out results/] [--trace-out trace.json]
-//!                 [--overlap [workers]]
+//!                 [--overlap [workers]] [--serve-metrics [PORT]]
 //! xp all [--scale …]        # everything
 //! xp list                   # available experiment ids
+//! xp prom-lint FILE         # validate a Prometheus exposition snapshot
 //! ```
 //!
 //! With `--overlap`, every training run an experiment drives goes through
@@ -18,14 +19,31 @@
 //! at exit the timeline is written as Chrome trace-event JSON (open in
 //! `chrome://tracing` or Perfetto) and a per-stage breakdown table with
 //! p50/p95/p99 is printed to stderr.
+//!
+//! With `--serve-metrics`, the same registry is additionally served live
+//! over localhost HTTP while the experiments run: `/metrics` in
+//! Prometheus text exposition format (counters, gauges, histograms and
+//! per-stage span timings, aggregated across all ranks) and `/health` as
+//! the watchdog's JSON verdict (HTTP 503 when critical). A background
+//! thread also refreshes the live stage table on stderr every few
+//! seconds so long runs stay observable without a scraper.
 
 use kfac_harness::experiments::{self, ALL_EXPERIMENTS};
 use kfac_harness::overlap::set_default_exec;
 use kfac_harness::presets::Scale;
 use kfac_harness::report::append_to_file;
 use kfac_harness::ExecStrategy;
-use kfac_telemetry::{export, Registry};
+use kfac_telemetry::{export, MetricsServer, Registry, Watchdog, WatchdogConfig};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default `--serve-metrics` port when none is given.
+const DEFAULT_METRICS_PORT: u16 = 9184;
+
+/// Seconds between live stage-table refreshes while serving metrics.
+const STAGE_TABLE_REFRESH_S: u64 = 10;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +55,10 @@ fn main() {
         println!("available experiments: {}", ALL_EXPERIMENTS.join(", "));
         return;
     }
+    if target == "prom-lint" {
+        run_prom_lint(&args[1..]);
+        return;
+    }
     if target == "bench-kernels" {
         run_bench_kernels(&args[1..]);
         return;
@@ -45,31 +67,39 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut serve_metrics: Option<u16> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or("")).unwrap_or_else(
-                    || {
-                        eprintln!("invalid --scale (smoke|quick|full)");
-                        std::process::exit(2);
-                    },
-                );
+                scale = Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
+                    .unwrap_or_else(|| flag_error("--scale needs smoke|quick|full"));
             }
             "--out" => {
                 i += 1;
-                out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--out needs a directory");
-                    std::process::exit(2);
-                })));
+                out_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| flag_error("--out needs a directory")),
+                ));
             }
             "--trace-out" => {
                 i += 1;
-                trace_out = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--trace-out needs a file path");
-                    std::process::exit(2);
-                })));
+                trace_out =
+                    Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
+                        flag_error("--trace-out needs a file path")
+                    })));
+            }
+            "--serve-metrics" => {
+                // Optional port; defaults to DEFAULT_METRICS_PORT.
+                serve_metrics = Some(match args.get(i + 1).and_then(|s| s.parse::<u16>().ok()) {
+                    Some(p) => {
+                        i += 1;
+                        p
+                    }
+                    None => DEFAULT_METRICS_PORT,
+                });
             }
             "--overlap" => {
                 // Optional worker count; defaults to 2 compute workers
@@ -85,19 +115,55 @@ fn main() {
                     compute_workers: workers,
                 });
             }
-            other => {
-                eprintln!("unknown flag {other}");
-                usage_and_exit();
-            }
+            other => flag_error(&format!("unknown flag {other}")),
         }
         i += 1;
     }
 
     // One registry for the whole invocation: installing it on the main
     // thread makes it ambient, so every train() the drivers launch (and
-    // every simulator trace) lands on the same timeline.
+    // every simulator trace) lands on the same timeline — and the same
+    // live /metrics endpoint.
     let registry = Registry::new();
     let telemetry_guard = registry.install(0);
+
+    let mut server = None;
+    let refresh_stop = Arc::new(AtomicBool::new(false));
+    if let Some(port) = serve_metrics {
+        let watchdog = Watchdog::new(registry.clone(), WatchdogConfig::default());
+        match MetricsServer::start(registry.clone(), port, Some(watchdog)) {
+            Ok(s) => {
+                eprintln!(
+                    "serving metrics on http://{}/metrics (health: /health)",
+                    s.addr()
+                );
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("failed to bind metrics server on port {port}: {e}");
+                std::process::exit(1);
+            }
+        }
+        // Live stage-table refresh: long runs print their per-stage
+        // breakdown periodically instead of only at exit.
+        let registry = registry.clone();
+        let stop = Arc::clone(&refresh_stop);
+        std::thread::Builder::new()
+            .name("kfac-stage-refresh".into())
+            .spawn(move || loop {
+                for _ in 0..STAGE_TABLE_REFRESH_S * 4 {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+                let events = registry.events();
+                if !events.is_empty() {
+                    eprintln!("--- live stage table ---\n{}", export::stage_table(&events));
+                }
+            })
+            .expect("spawn stage refresh thread");
+    }
 
     let ids: Vec<&str> = if target == "all" {
         // Deduplicate aliases (table2/fig4 and table3/fig6 share drivers).
@@ -134,6 +200,7 @@ fn main() {
         }
     }
 
+    refresh_stop.store(true, Ordering::Relaxed);
     drop(telemetry_guard);
     let events = registry.events();
     if !events.is_empty() {
@@ -150,6 +217,33 @@ fn main() {
                 eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
+        }
+    }
+    // Server (if any) shuts down on drop, after the final table so a
+    // scraper can read the complete run.
+    drop(server);
+}
+
+/// `xp prom-lint FILE` — validate a saved `/metrics` snapshot against
+/// the Prometheus text exposition rules the exporter promises (HELP/TYPE
+/// present, cumulative buckets monotone and capped by `+Inf`, `_count`
+/// consistency). Exit 0 on a clean document, 1 with the violation
+/// otherwise. CI curls `/metrics` during a smoke run and lints it here.
+fn run_prom_lint(args: &[String]) {
+    let [path] = args else {
+        flag_error("prom-lint takes exactly one FILE argument");
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("failed to read {path}: {e}");
+        std::process::exit(1);
+    });
+    match export::lint_prometheus(&text) {
+        Ok(()) => {
+            eprintln!("{path}: exposition OK ({} lines)", text.lines().count());
+        }
+        Err(e) => {
+            eprintln!("{path}: exposition INVALID: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -172,10 +266,9 @@ fn run_bench_kernels(args: &[String]) {
                 };
                 json_path = Some(PathBuf::from(path));
             }
-            other => {
-                eprintln!("unknown flag {other} (bench-kernels takes [--json [FILE]])");
-                std::process::exit(2);
-            }
+            other => flag_error(&format!(
+                "unknown flag {other} (bench-kernels takes [--json [FILE]])"
+            )),
         }
         i += 1;
     }
@@ -202,10 +295,17 @@ fn run_bench_kernels(args: &[String]) {
     }
 }
 
+/// Uniform flag-error path: say what was wrong, show usage, exit 2.
+fn flag_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage_and_exit();
+}
+
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: xp <experiment|all|list|bench-kernels> [--scale smoke|quick|full] [--out DIR] \
-         [--trace-out FILE] [--overlap [WORKERS]] [--json [FILE]]\n\
+        "usage: xp <experiment|all|list|bench-kernels|prom-lint FILE> \
+         [--scale smoke|quick|full] [--out DIR] [--trace-out FILE] [--overlap [WORKERS]] \
+         [--serve-metrics [PORT]] [--json [FILE]]\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -30,7 +30,9 @@ use kfac_collectives::{
 use kfac_data::{batch_of, synthetic_cifar, Dataset, ShardedSampler};
 use kfac_nn::{resnet::resnet_cifar, CrossEntropyLoss, Layer, Sequential};
 use kfac_optim::Sgd;
+use kfac_telemetry::{FlightRecorder, Registry};
 use kfac_tensor::Rng64;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -88,11 +90,23 @@ struct ScenarioResult {
     resumed: bool,
 }
 
+/// Where a chaos scenario's flight-recorder dump lands (rank 0 carries
+/// the recorder; the registry it snapshots is shared by all ranks).
+fn flight_dump_path(name: &str) -> PathBuf {
+    std::env::temp_dir()
+        .join("kfac-chaos-flight")
+        .join(format!("{name}.json"))
+}
+
 /// Run `iters` resilient iterations on 4 ranks under `plan` (None =
 /// fault-free). If the group aborts with a rank loss, every rank
 /// restores the latest checkpoint and finishes the budget on a fresh
 /// fault-free group — the recovery drill the checkpoint exists for.
+/// Every rank records into one shared registry; rank 0 carries a
+/// flight recorder that dumps to `flight_dump_path(name)` whenever the
+/// ladder escalates (skipped step or rank loss).
 fn run_scenario(
+    name: &str,
     iters: usize,
     plan: Option<Arc<FaultPlan>>,
     ft: FaultTolerance,
@@ -102,6 +116,10 @@ fn run_scenario(
     let recovery_comms = ThreadComm::create(RANKS);
     let plan = &plan;
     let ft = &ft;
+    let registry = Registry::new();
+    let registry = &registry;
+    let dump_path = flight_dump_path(name);
+    let dump_path = &dump_path;
     let results: Vec<ScenarioResult> = thread::scope(|s| {
         let handles: Vec<_> = faulty_comms
             .into_iter()
@@ -109,12 +127,16 @@ fn run_scenario(
             .enumerate()
             .map(|(rank, (comm, recovery))| {
                 s.spawn(move || {
+                    let _telemetry = registry.install(rank);
                     let batches = batch_plan(train_ds.len(), rank, iters);
                     let mut model = build_model();
                     let mut optimizer = Sgd::new(0.9, 1e-4);
                     let mut kfac = Some(build_kfac(&mut model));
                     let criterion = CrossEntropyLoss::new();
                     let mut tr = ResilientTrainer::new(*ft);
+                    if rank == 0 {
+                        tr.set_flight_recorder(FlightRecorder::default(), Some(dump_path.clone()));
+                    }
                     let mut losses = Vec::with_capacity(iters);
                     let mut resumed = false;
                     // One wrapper for the whole run: the fault plan is
@@ -234,7 +256,7 @@ fn run_with_watchdog(
     let handle = thread::spawn(move || {
         let (train_ds, _) = synthetic_cifar(8, 96, 32, DATA_SEED);
         let plan = plan.map(|cfg| Arc::new(FaultPlan::new(cfg, RANKS)));
-        let result = run_scenario(iters, plan, ft, &train_ds);
+        let result = run_scenario(name, iters, plan, ft, &train_ds);
         let _ = tx.send(result);
     });
     let result = rx
@@ -389,6 +411,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     row("bit-flip corruption", &corrupt, &clean);
 
     // Permanent rank loss: abort, restore latest checkpoint, finish.
+    // The escalation must also leave a flight-recorder dump behind.
+    let dump = flight_dump_path("rank-loss");
+    let _ = std::fs::remove_file(&dump);
     let rank_loss = run_with_watchdog(
         "rank-loss",
         iters,
@@ -405,6 +430,23 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     assert!(rank_loss.resumed, "rank loss never triggered");
     assert!(rank_loss.final_loss.is_finite());
     row("rank loss → checkpoint resume", &rank_loss, &clean);
+    let dump_doc = std::fs::read_to_string(&dump)
+        .expect("rank-loss escalation must leave a flight-recorder dump");
+    let parsed = kfac_telemetry::json::Json::parse(&dump_doc)
+        .expect("flight-recorder dump must be valid JSON");
+    assert!(
+        parsed
+            .get("reason")
+            .and_then(|r| r.as_str())
+            .is_some_and(|r| r.starts_with("rank_lost")),
+        "dump must record why it was taken"
+    );
+    notes.push(format!(
+        "Flight recorder dumped on rank loss: {} ({} bytes, reason `{}`).",
+        dump.display(),
+        dump_doc.len(),
+        parsed.get("reason").and_then(|r| r.as_str()).unwrap_or("?")
+    ));
 
     notes.push(format!(
         "{iters} iterations × {RANKS} ranks per scenario; every scenario shares model seed \

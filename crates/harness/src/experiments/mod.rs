@@ -65,6 +65,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
     "fig4",
+    "correctness",
     "fig5",
     "table3",
     "fig6",
@@ -84,7 +85,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 pub fn run(id: &str, scale: Scale) -> Option<ExperimentOutput> {
     match id {
         "table1" => Some(table1::run(scale)),
-        "table2" | "fig4" => Some(correctness::run(scale)),
+        "table2" | "fig4" | "correctness" => Some(correctness::run(scale)),
         "fig5" => Some(fig5::run(scale)),
         "table3" | "fig6" => Some(freq::run(scale)),
         "fig7" => Some(scaling::run_model(50)),

@@ -33,7 +33,10 @@ use kfac::Kfac;
 use kfac_collectives::{CollectiveError, Communicator, ReduceOp, RetryPolicy, TrafficClass};
 use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
 use kfac_optim::{Optimizer, Sgd};
+use kfac_telemetry::watchdog::RuleKind;
+use kfac_telemetry::{FlightRecorder, HealthReport, Severity};
 use kfac_tensor::{Matrix, Tensor4};
+use std::path::PathBuf;
 
 /// Degradation knobs for [`ResilientTrainer`].
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +85,7 @@ pub struct ResilientTrainer {
     steps_done: u64,
     latest_checkpoint: Option<Vec<u8>>,
     telemetry: Option<(kfac_telemetry::Registry, usize)>,
+    recorder: Option<(FlightRecorder, Option<PathBuf>)>,
 }
 
 impl ResilientTrainer {
@@ -95,7 +99,34 @@ impl ResilientTrainer {
             steps_done: 0,
             latest_checkpoint: None,
             telemetry: kfac_telemetry::current(),
+            recorder: None,
         }
+    }
+
+    /// Attach a flight recorder. Each [`step`](Self::step) takes a
+    /// metrics snapshot, and any ladder escalation (skipped step, rank
+    /// loss, critical watchdog finding) dumps the recorder — to
+    /// `dump_path` when given, otherwise the dump is only available via
+    /// [`flight_recorder`](Self::flight_recorder).
+    pub fn set_flight_recorder(&mut self, recorder: FlightRecorder, dump_path: Option<PathBuf>) {
+        self.recorder = Some((recorder, dump_path));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref().map(|(r, _)| r)
+    }
+
+    /// Dump the flight recorder (if one is attached and a registry is
+    /// ambient), tagging the dump with `reason`. Writes the JSON to the
+    /// configured dump path when present; always returns the document.
+    fn dump_recorder(&self, reason: &str) -> Option<String> {
+        let (recorder, path) = self.recorder.as_ref()?;
+        let (registry, _) = self.telemetry.as_ref()?;
+        if let Some(path) = path {
+            let _ = recorder.dump_to_file(registry, reason, path);
+        }
+        Some(recorder.dump_json(registry, reason))
     }
 
     /// The most recent checkpoint blob, if `checkpoint_every` is on.
@@ -115,12 +146,78 @@ impl ResilientTrainer {
         }
     }
 
+    /// Map a watchdog health report onto the degradation ladder.
+    ///
+    /// Critical findings translate to the same typed signals
+    /// [`step`](Self::step) produces: a critical non-finite or
+    /// retry-rate finding recommends skipping the next step (rung 4), a
+    /// critical heartbeat stall recommends aborting to the latest
+    /// checkpoint (rung 5, reported as this rank's own loss). Warnings
+    /// and critical staleness don't escalate — staleness *is* the
+    /// degradation (rung 2) — but any critical finding dumps the flight
+    /// recorder so the run leaves evidence.
+    pub fn apply_watchdog(&mut self, report: &HealthReport) -> Option<StepOutcome> {
+        if report.severity < Severity::Critical {
+            return None;
+        }
+        self.dump_recorder("watchdog_critical");
+        let own_rank = self.telemetry.as_ref().map(|(_, r)| *r).unwrap_or(0);
+        let mut outcome = None;
+        for f in report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Critical)
+        {
+            match f.rule {
+                RuleKind::HeartbeatStall => return Some(StepOutcome::RankLost(own_rank)),
+                RuleKind::NonFinite | RuleKind::RetryRate => {
+                    outcome = Some(StepOutcome::SkippedStep);
+                }
+                RuleKind::StalenessCeiling => {}
+            }
+        }
+        outcome
+    }
+
     /// Run one training iteration under the degradation ladder.
     /// Returns the local batch loss and what happened. All ranks of a
     /// group must call this in lockstep with the same fault plan so
     /// degradation decisions agree group-wide.
+    ///
+    /// With a flight recorder attached, every step captures a metrics
+    /// snapshot, and an escalated outcome (skipped step or rank loss)
+    /// dumps the recorder automatically.
     #[allow(clippy::too_many_arguments)]
     pub fn step(
+        &mut self,
+        model: &mut Sequential,
+        kfac: &mut Option<Kfac>,
+        optimizer: &mut Sgd,
+        comm: &dyn Communicator,
+        x: &Tensor4,
+        labels: &[usize],
+        criterion: &CrossEntropyLoss,
+        lr: f32,
+    ) -> (f32, StepOutcome) {
+        let (loss, outcome) =
+            self.step_inner(model, kfac, optimizer, comm, x, labels, criterion, lr);
+        if let (Some((recorder, _)), Some((registry, _))) = (&self.recorder, &self.telemetry) {
+            recorder.snapshot(registry);
+            match outcome {
+                StepOutcome::Stepped => {}
+                StepOutcome::SkippedStep => {
+                    self.dump_recorder("skipped_step");
+                }
+                StepOutcome::RankLost(r) => {
+                    self.dump_recorder(&format!("rank_lost_{r}"));
+                }
+            }
+        }
+        (loss, outcome)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_inner(
         &mut self,
         model: &mut Sequential,
         kfac: &mut Option<Kfac>,
@@ -421,6 +518,101 @@ mod tests {
         }
         // Replicas stayed in lockstep through identical degradation.
         assert_eq!(results[0].0, results[1].0);
+    }
+
+    /// Critical watchdog findings map onto the ladder's own typed
+    /// signals; staleness stays on rung 2 and never escalates.
+    #[test]
+    fn watchdog_criticals_map_to_ladder_signals() {
+        use kfac_telemetry::watchdog::Finding;
+        let registry = kfac_telemetry::Registry::new();
+        let _guard = registry.install(3);
+        let mut tr = ResilientTrainer::new(FaultTolerance::default());
+        let report = |rule, severity| HealthReport {
+            severity,
+            findings: vec![Finding {
+                rule,
+                severity,
+                message: String::new(),
+            }],
+            checked_at_us: 0,
+        };
+        assert_eq!(
+            tr.apply_watchdog(&report(RuleKind::NonFinite, Severity::Warn)),
+            None
+        );
+        assert_eq!(
+            tr.apply_watchdog(&report(RuleKind::NonFinite, Severity::Critical)),
+            Some(StepOutcome::SkippedStep)
+        );
+        assert_eq!(
+            tr.apply_watchdog(&report(RuleKind::RetryRate, Severity::Critical)),
+            Some(StepOutcome::SkippedStep)
+        );
+        assert_eq!(
+            tr.apply_watchdog(&report(RuleKind::StalenessCeiling, Severity::Critical)),
+            None
+        );
+        // A stall aborts, reported as this rank's own loss.
+        assert_eq!(
+            tr.apply_watchdog(&report(RuleKind::HeartbeatStall, Severity::Critical)),
+            Some(StepOutcome::RankLost(3))
+        );
+    }
+
+    /// A skipped step with a recorder attached snapshots the metrics and
+    /// dumps; a critical watchdog verdict dumps to the configured path.
+    #[test]
+    fn escalations_snapshot_and_dump_the_flight_recorder() {
+        use kfac_telemetry::watchdog::Finding;
+        let registry = kfac_telemetry::Registry::new();
+        let _guard = registry.install(0);
+        let dir = std::env::temp_dir().join(format!("kfac-resilient-dump-{}", std::process::id()));
+        let path = dir.join("dump.json");
+        let _ = std::fs::remove_file(&path);
+
+        // grad_limit 0 rejects every real gradient → rung 4 on step 1.
+        let mut tr = ResilientTrainer::new(FaultTolerance {
+            grad_limit: 0.0,
+            ..FaultTolerance::default()
+        });
+        tr.set_flight_recorder(
+            kfac_telemetry::FlightRecorder::default(),
+            Some(path.clone()),
+        );
+        let mut m = model(3);
+        let mut opt = Sgd::new(0.9, 1e-4);
+        let mut k = None;
+        let criterion = CrossEntropyLoss::new();
+        let (x, labels) = batch(0);
+        let (_, outcome) = tr.step(
+            &mut m,
+            &mut k,
+            &mut opt,
+            &kfac_collectives::LocalComm::new(),
+            &x,
+            &labels,
+            &criterion,
+            0.05,
+        );
+        assert_eq!(outcome, StepOutcome::SkippedStep);
+        assert_eq!(tr.flight_recorder().unwrap().len(), 1, "one snapshot");
+        let doc = std::fs::read_to_string(&path).expect("skip dumped to file");
+        assert!(doc.contains("skipped_step"));
+
+        let report = HealthReport {
+            severity: Severity::Critical,
+            findings: vec![Finding {
+                rule: RuleKind::NonFinite,
+                severity: Severity::Critical,
+                message: "loss is NaN".into(),
+            }],
+            checked_at_us: 1,
+        };
+        assert_eq!(tr.apply_watchdog(&report), Some(StepOutcome::SkippedStep));
+        let doc = std::fs::read_to_string(&path).expect("watchdog dumped to file");
+        assert!(doc.contains("watchdog_critical"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Rank loss aborts with `RankLost` on every rank, and the latest

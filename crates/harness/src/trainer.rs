@@ -232,6 +232,21 @@ fn run_rank(
                 .lr
                 .lr_at(epoch as f32 + bi as f32 / iters_per_epoch as f32);
             let capture = kfac.as_ref().map(|k| k.needs_capture()).unwrap_or(false);
+            let t_iter = Instant::now();
+            // Liveness + trajectory probes for the watchdog and the live
+            // metrics plane. Pure reads of already-computed values: the
+            // training math never consumes them.
+            let record_iter = |loss: f32| {
+                registry
+                    .gauge(kfac_telemetry::watchdog::names::LOSS)
+                    .set(loss as f64);
+                registry
+                    .gauge(kfac_telemetry::watchdog::names::HEARTBEAT_US)
+                    .set(registry.micros_at(Instant::now()) as f64);
+                registry
+                    .histogram("train/iter_time_us")
+                    .record(t_iter.elapsed().as_micros() as f64);
+            };
             let _iter_span = Span::enter("train/iteration")
                 .with("epoch", epoch)
                 .with("iter", bi);
@@ -250,6 +265,7 @@ fn run_rank(
                     mode,
                 );
                 loss_sum += loss as f64;
+                record_iter(loss);
                 continue;
             }
             model.zero_grad();
@@ -277,6 +293,7 @@ fn run_rank(
             // group-consistent by construction.
             if !loss.is_finite() || !gradients_finite(&mut model) {
                 registry.counter("train/skipped_steps").inc();
+                record_iter(loss);
                 continue;
             }
             if let Some(k) = &mut kfac {
@@ -287,6 +304,7 @@ fn run_rank(
                 let _span = Span::enter("train/opt_step");
                 optimizer.step(&mut model, lr);
             }
+            record_iter(loss);
         }
         let wall_s = t_epoch.elapsed().as_secs_f64();
 

@@ -1,7 +1,8 @@
 //! Integration: a 4-rank CIFAR smoke run must leave a complete, valid
 //! telemetry trail — per-rank per-iteration spans with the expected
-//! names, byte-tagged collectives, a parseable Chrome trace, and a
-//! stage breakdown that accounts for the measured wall time.
+//! names, byte-tagged collectives, a parseable Chrome trace, a stage
+//! breakdown that accounts for the measured wall time, and a `/metrics`
+//! snapshot that aggregates every rank's counters and histograms.
 
 use kfac::KfacConfig;
 use kfac_data::synthetic_cifar;
@@ -9,8 +10,9 @@ use kfac_harness::trainer::{train, TrainConfig};
 use kfac_nn::resnet::resnet_cifar;
 use kfac_nn::Sequential;
 use kfac_optim::LrSchedule;
-use kfac_telemetry::{export, AttrValue, Registry};
+use kfac_telemetry::{export, AttrValue, MetricsServer, Registry, Watchdog, WatchdogConfig};
 use kfac_tensor::Rng64;
+use std::io::{Read, Write};
 
 fn build(seed: u64) -> Sequential {
     let mut rng = Rng64::new(seed);
@@ -103,6 +105,133 @@ fn four_rank_run_traces_every_stage_on_every_rank() {
     assert_eq!(stats.steps, iters_per_rank as u64);
     let precond_total = registry.span_agg("kfac/precond", Some(0)).total;
     assert_eq!(stats.precond, precond_total);
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The registry's mirrored traffic counters must equal the merge of all
+/// per-rank counters — witnessed by the communicator's own group-wide
+/// accumulator — even when payload sizes differ across ranks.
+#[test]
+fn registry_merge_equals_group_traffic() {
+    let registry = Registry::new();
+    let comms = kfac_collectives::ThreadComm::create(4);
+    let registry_ref = &registry;
+    let group = std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                s.spawn(move || {
+                    use kfac_collectives::{Communicator, ReduceOp, TrafficClass};
+                    let _guard = registry_ref.install(rank);
+                    // Symmetric gradient traffic, asymmetric eigen
+                    // payloads (like the round-robin eig allgather).
+                    let mut buf = vec![1.0f32; 64];
+                    comm.allreduce_tagged(&mut buf, ReduceOp::Average, TrafficClass::Gradient);
+                    let payload = vec![rank as f32; 8 * (rank + 1)];
+                    let _ = comm.allgather_tagged(&payload, TrafficClass::Eigen);
+                    comm
+                })
+            })
+            .collect();
+        let comms: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        comms[0].group_traffic()
+    });
+    assert!(group.eigen_bytes > 0 && group.gradient_bytes > 0);
+    assert_eq!(
+        registry.counter("comm/bytes/gradient").get(),
+        group.gradient_bytes
+    );
+    assert_eq!(
+        registry.counter("comm/bytes/eigen").get(),
+        group.eigen_bytes
+    );
+    assert_eq!(registry.counter("comm/ops").get(), group.ops);
+}
+
+/// Satellite: the shared registry merges every rank's counters and
+/// histograms, so the `/metrics` snapshot equals the per-rank sums —
+/// and the live HTTP endpoints serve it in lintable exposition format.
+#[test]
+fn metrics_snapshot_aggregates_all_ranks_and_serves_http() {
+    let (result, registry) = run_4rank_smoke();
+
+    // Every rank records symmetric collective traffic (same model, same
+    // batch shape, same schedule), and each rank mirrors its own ops
+    // into the shared registry — so registry totals must equal
+    // 4 × rank 0's per-rank traffic snapshot, i.e. the merge of the
+    // per-rank counters.
+    let counter = |name: &str| registry.counter(name).get();
+    let t = result.traffic;
+    assert_eq!(counter("comm/bytes/gradient"), 4 * t.gradient_bytes);
+    assert_eq!(counter("comm/bytes/factor"), 4 * t.factor_bytes);
+    assert_eq!(counter("comm/ops"), 4 * t.ops);
+    // Eigen allgather payloads differ per rank (round-robin eig
+    // placement), so the group total is not 4 × rank 0's; it must still
+    // be positive and is pinned exactly by `registry_merge_equals_group_traffic`.
+    assert!(counter("comm/bytes/eigen") > 0);
+
+    // Iteration-time histogram: one sample per iteration per rank.
+    let iters_total = 4 * 8;
+    let hist = registry.histogram("train/iter_time_us");
+    assert_eq!(hist.count(), iters_total);
+
+    // K-FAC numerics probes landed: per-layer spectrum gauges, the
+    // damping/clip trajectory, and staleness.
+    let gauges = registry.gauges();
+    let has = |name: &str| gauges.iter().any(|(n, v)| n == name && v.is_finite());
+    for name in [
+        "kfac/damping",
+        "kfac/kl_nu",
+        "kfac/staleness_age",
+        "kfac/precond_ratio",
+        "kfac/max_cond",
+        "kfac/layer0/a_cond",
+        "kfac/layer0/g_lambda_max",
+    ] {
+        assert!(has(name), "missing probe gauge `{name}`");
+    }
+    assert!(
+        registry.histogram("kfac/cond").count() > 0,
+        "condition-number histogram empty"
+    );
+
+    // The exposition is valid Prometheus text format…
+    let text = export::prometheus(&registry);
+    export::lint_prometheus(&text).expect("exposition lints clean");
+    assert!(text.contains("kfac_stage_count{stage="));
+
+    // …and the live server returns the same registry over HTTP, with a
+    // healthy watchdog verdict (the heartbeat gauge is fresh).
+    let watchdog = Watchdog::new(registry.clone(), WatchdogConfig::default());
+    let server =
+        MetricsServer::start(registry.clone(), 0, Some(watchdog)).expect("bind ephemeral port");
+    let (status, body) = http_get(server.addr(), "/metrics");
+    assert_eq!(status, 200);
+    export::lint_prometheus(&body).expect("served exposition lints clean");
+    assert!(body.contains("comm_bytes_gradient"));
+    let (status, body) = http_get(server.addr(), "/health");
+    assert_eq!(status, 200, "watchdog should be healthy: {body}");
+    assert!(
+        body.contains("\"status\": \"ok\""),
+        "unexpected health: {body}"
+    );
 }
 
 #[test]

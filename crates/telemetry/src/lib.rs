@@ -36,18 +36,34 @@
 //! log-scale with bounded-error percentile queries.
 //!
 //! Exporters live in [`export`]: Chrome trace-event JSON (one timeline
-//! thread per rank, loadable in Perfetto), JSONL, and the per-stage
-//! breakdown table printed at the end of `xp` runs.
+//! thread per rank, loadable in Perfetto), JSONL, Prometheus text
+//! exposition, and the per-stage breakdown table printed at the end of
+//! `xp` runs.
+//!
+//! The *live* observability layer builds on the same registry:
+//! [`server::MetricsServer`] serves `/metrics` and `/health` over
+//! localhost HTTP while a run is in flight, [`watchdog::Watchdog`]
+//! evaluates health rules (heartbeat stall, non-finite values, factor
+//! staleness, collective retry rate) over the metric names in
+//! [`watchdog::names`], and [`recorder::FlightRecorder`] keeps a
+//! bounded black box of recent snapshots + span tail for post-fault
+//! dumps.
 
 #![warn(missing_docs)]
 
 pub mod export;
 pub mod json;
 mod metrics;
+pub mod recorder;
 mod registry;
+pub mod server;
+pub mod watchdog;
 
 pub use metrics::{Counter, Gauge, Histogram};
+pub use recorder::{FlightRecorder, MetricsSnapshot};
 pub use registry::{AttrValue, Registry, SpanAgg, SpanEvent};
+pub use server::MetricsServer;
+pub use watchdog::{HealthReport, Severity, Watchdog, WatchdogConfig};
 
 use std::cell::RefCell;
 use std::time::Instant;

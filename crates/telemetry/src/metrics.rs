@@ -126,6 +126,10 @@ fn bucket_midpoint(idx: usize) -> f64 {
     (lo + 0.5 / SUB).exp2()
 }
 
+fn bucket_upper_bound(idx: usize) -> f64 {
+    (MIN_EXP + (idx as f64 + 1.0) / SUB).exp2()
+}
+
 impl Histogram {
     /// New empty histogram.
     pub fn new() -> Self {
@@ -175,13 +179,18 @@ impl Histogram {
     }
 
     /// Estimate the `p`-th percentile (`p` in 0..=100). Returns 0 for an
-    /// empty histogram.
+    /// empty histogram. `p` is clamped into `[0, 100]` (a NaN `p` behaves
+    /// like 0), `p ≤ 0` selects the lowest occupied bucket, `p ≥ 100` the
+    /// highest, and a single-sample histogram answers every percentile
+    /// with that sample's bucket midpoint.
     pub fn percentile(&self, p: f64) -> f64 {
         let n = self.count();
         if n == 0 {
             return 0.0;
         }
         // Nearest-rank: the sample at 1-based rank ceil(p/100 * n).
+        // `.max(1.0)` also absorbs NaN (f64::max ignores it), so a NaN
+        // `p` degrades to the first occupied bucket instead of garbage.
         let target = ((p.clamp(0.0, 100.0) / 100.0) * n as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
         for (idx, b) in self.inner.buckets.iter().enumerate() {
@@ -190,7 +199,27 @@ impl Histogram {
                 return bucket_midpoint(idx);
             }
         }
+        // Reachable when a concurrent `record` bumped `count` between our
+        // load and the bucket walk; answer with the top occupied bucket.
         bucket_midpoint(NBUCKETS - 1)
+    }
+
+    /// Occupied buckets as `(upper_bound, cumulative_count)` pairs in
+    /// ascending bound order — the cumulative-bucket view Prometheus
+    /// exposition wants. Counts are monotonically non-decreasing; the
+    /// last entry's count equals [`Histogram::count`] at snapshot time
+    /// (modulo concurrent recording).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (idx, b) in self.inner.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                cumulative += c;
+                out.push((bucket_upper_bound(idx), cumulative));
+            }
+        }
+        out
     }
 }
 
@@ -241,6 +270,61 @@ mod tests {
         h.record(1e300); // clamps into top bucket
         assert_eq!(h.count(), 4);
         assert!(h.percentile(100.0) > 0.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_pinned() {
+        // Empty: every percentile is exactly 0, including weird p.
+        let h = Histogram::new();
+        for p in [-10.0, 0.0, 50.0, 100.0, 1e9, f64::NAN] {
+            assert_eq!(h.percentile(p), 0.0, "empty hist, p={p}");
+        }
+
+        // Single sample: every percentile answers that sample's bucket
+        // midpoint — the same value regardless of p.
+        let h = Histogram::new();
+        h.record(7.0);
+        let mid = h.percentile(50.0);
+        assert!((mid - 7.0).abs() / 7.0 < 0.05, "midpoint {mid} not ~7");
+        for p in [-10.0, 0.0, 0.001, 99.999, 100.0, 250.0, f64::NAN] {
+            assert_eq!(h.percentile(p), mid, "single sample, p={p}");
+        }
+
+        // Two well-separated samples: p≤0 pins to the low bucket,
+        // p≥100 to the high bucket, and p=50 (rank ceil(0.5*2)=1) is
+        // the low one under nearest-rank semantics.
+        let h = Histogram::new();
+        h.record(1.0);
+        h.record(1024.0);
+        let lo = h.percentile(0.0);
+        let hi = h.percentile(100.0);
+        assert!((lo - 1.0).abs() < 0.05, "p0 {lo} not ~1");
+        assert!((hi - 1024.0).abs() / 1024.0 < 0.05, "p100 {hi} not ~1024");
+        assert_eq!(h.percentile(-5.0), lo);
+        assert_eq!(h.percentile(150.0), hi);
+        assert_eq!(h.percentile(50.0), lo);
+        assert_eq!(h.percentile(51.0), hi);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let h = Histogram::new();
+        for v in [0.5, 1.0, 2.0, 2.0, 1000.0] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_count = 0u64;
+        for &(bound, count) in &buckets {
+            assert!(bound > prev_bound, "bounds must ascend");
+            assert!(count >= prev_count, "cumulative counts must not drop");
+            prev_bound = bound;
+            prev_count = count;
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        assert!(h.cumulative_buckets() == buckets, "snapshot is stable");
+        assert!(Histogram::new().cumulative_buckets().is_empty());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Live metrics plane: a dependency-free localhost HTTP server exposing
+//! the registry while a run is in flight.
+//!
+//! One background thread accepts connections on `127.0.0.1` and answers:
+//!
+//! - `GET /metrics` — Prometheus text exposition
+//!   ([`crate::export::prometheus`]) over the live registry;
+//! - `GET /health`  — the watchdog's [`crate::watchdog::HealthReport`]
+//!   as JSON (HTTP 503 once any finding is critical), or a plain
+//!   `{"status": "ok"}` when no watchdog is attached.
+//!
+//! Scrapes read lock-free snapshots; the training hot path never blocks
+//! on a scrape. Binding is loopback-only by design — this is a
+//! diagnostics plane, not a public endpoint.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::export;
+use crate::registry::Registry;
+use crate::watchdog::{Severity, Watchdog};
+
+/// Handle to a running metrics server. Dropping it stops the background
+/// thread (the listener is unblocked with a self-connection).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `127.0.0.1:port` (`port` 0 picks an ephemeral port; see
+    /// [`MetricsServer::addr`]) and serve `registry` until the handle
+    /// is dropped. `watchdog` backs `/health` when present.
+    pub fn start(
+        registry: Registry,
+        port: u16,
+        watchdog: Option<Watchdog>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("kfac-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Serve inline: scrapes are rare and tiny, so one
+                    // thread is plenty and keeps shutdown trivial.
+                    let _ = serve_one(stream, &registry, watchdog.as_ref());
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop so the thread observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    watchdog: Option<&Watchdog>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    // Read until the end of the request head (or a small cap — we only
+    // need the request line).
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break, // timeout or reset: answer what we have
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                export::prometheus(registry),
+            ),
+            "/health" => match watchdog {
+                Some(wd) => {
+                    let report = wd.evaluate();
+                    let status = if report.severity == Severity::Critical {
+                        "503 Service Unavailable"
+                    } else {
+                        "200 OK"
+                    };
+                    (status, "application/json", report.to_json())
+                }
+                None => (
+                    "200 OK",
+                    "application/json",
+                    "{\"status\": \"ok\", \"findings\": []}".to_string(),
+                ),
+            },
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics or /health\n".to_string(),
+            ),
+        }
+    };
+
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::watchdog::WatchdogConfig;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_health() {
+        let registry = Registry::new();
+        registry.counter("comm/ops").add(3);
+        registry.histogram("train/iter_time_us").record(1500.0);
+        let watchdog = Watchdog::new(registry.clone(), WatchdogConfig::default());
+        let server =
+            MetricsServer::start(registry.clone(), 0, Some(watchdog)).expect("bind ephemeral");
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        crate::export::lint_prometheus(&body).expect("served exposition lints clean");
+        assert!(body.contains("comm_ops 3"));
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let parsed = Json::parse(&body).expect("health is JSON");
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn health_is_503_when_critical() {
+        let registry = Registry::new();
+        registry.gauge("train/loss").set(f64::INFINITY);
+        let watchdog = Watchdog::new(registry.clone(), WatchdogConfig::default());
+        let server = MetricsServer::start(registry, 0, Some(watchdog)).expect("bind");
+        let (head, body) = http_get(server.addr(), "/health");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("critical"));
+    }
+
+    #[test]
+    fn drop_stops_the_server_and_frees_the_port() {
+        let registry = Registry::new();
+        let server = MetricsServer::start(registry, 0, None).expect("bind");
+        let addr = server.addr();
+        let (head, _) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        drop(server);
+        // The port must be rebindable after drop (thread joined, listener
+        // closed).
+        let _relisten = TcpListener::bind(addr).expect("port released");
+    }
+}
