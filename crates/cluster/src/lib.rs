@@ -24,12 +24,16 @@
 //! ([`hardware::GpuSpec::v100`]); the *shapes* — who wins, where the
 //! crossovers fall, how imbalance grows — come from (1)–(3).
 
+pub mod calibrate;
 pub mod hardware;
 pub mod iteration;
 pub mod profile;
 pub mod scaling;
 pub mod trace;
 
+pub use calibrate::{
+    calibrated_cluster, scaling_sweep_calibrated, time_to_solution_calibrated, BenchReport,
+};
 pub use hardware::{calibrate_host, ClusterSpec, GpuSpec};
 pub use iteration::{IterationModel, KfacRunConfig, StageTimes, StragglerDist};
 pub use profile::ModelProfile;

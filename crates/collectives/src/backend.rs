@@ -1,0 +1,83 @@
+//! Unified communicator-backend selection.
+//!
+//! One enum, one env knob: `KFAC_COMM_BACKEND=thread|proc` decides whether
+//! rank groups are in-process threads ([`crate::ThreadComm`]) or separate
+//! processes over TCP ([`crate::proc::ProcComm`]). Everything that used to
+//! construct a backend ad hoc (`xp`, the trainer, tests) goes through
+//! here, so a misspelled override fails with one clear message instead of
+//! silently training on the wrong fabric.
+
+use std::fmt;
+
+/// Which communicator implementation carries collective traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommBackend {
+    /// N ranks as threads in one process (`ThreadComm`). The default.
+    #[default]
+    Thread,
+    /// N ranks as processes over localhost TCP (`proc::ProcComm`).
+    Proc,
+}
+
+impl CommBackend {
+    /// Stable name, also the accepted env spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommBackend::Thread => "thread",
+            CommBackend::Proc => "proc",
+        }
+    }
+
+    /// Parse a backend name (case-insensitive).
+    pub fn parse(s: &str) -> Result<CommBackend, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "thread" => Ok(CommBackend::Thread),
+            "proc" => Ok(CommBackend::Proc),
+            other => Err(format!(
+                "unknown comm backend {other:?}: expected \"thread\" or \"proc\" \
+                 (set via KFAC_COMM_BACKEND or --backend)"
+            )),
+        }
+    }
+
+    /// Resolve from `KFAC_COMM_BACKEND`, defaulting to
+    /// [`CommBackend::Thread`] when unset. `Err` carries a clear
+    /// misconfiguration message for the caller to surface.
+    pub fn from_env() -> Result<CommBackend, String> {
+        match std::env::var("KFAC_COMM_BACKEND") {
+            Ok(s) => CommBackend::parse(&s).map_err(|e| format!("KFAC_COMM_BACKEND: {e}")),
+            Err(_) => Ok(CommBackend::Thread),
+        }
+    }
+}
+
+impl fmt::Display for CommBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_backends_case_insensitively() {
+        assert_eq!(CommBackend::parse("thread"), Ok(CommBackend::Thread));
+        assert_eq!(CommBackend::parse("Proc"), Ok(CommBackend::Proc));
+        assert_eq!(CommBackend::parse(" PROC "), Ok(CommBackend::Proc));
+    }
+
+    #[test]
+    fn rejects_unknown_with_actionable_message() {
+        let err = CommBackend::parse("mpi").unwrap_err();
+        assert!(err.contains("mpi"), "{err}");
+        assert!(err.contains("thread"), "{err}");
+        assert!(err.contains("proc"), "{err}");
+    }
+
+    #[test]
+    fn default_is_thread() {
+        assert_eq!(CommBackend::default(), CommBackend::Thread);
+    }
+}

@@ -15,6 +15,41 @@ use crate::communicator::{Communicator, ReduceOp};
 use crate::handle::CollectiveError;
 use crate::traffic::TrafficClass;
 
+/// Horovod's default fusion threshold (§II-D cites 16–32 MB).
+pub const DEFAULT_FUSION_BYTES: usize = 16 << 20;
+
+/// Configured thresholds are clamped to at least this. Below ~a page of
+/// floats, fusion degenerates into one collective per tensor and the
+/// latency term the buffer exists to amortize comes back.
+pub const MIN_FUSION_BYTES: usize = 4 << 10;
+
+/// Configured thresholds are clamped to at most this; a fused message
+/// must stay under the wire frame ceiling with room to spare.
+pub const MAX_FUSION_BYTES: usize = 512 << 20;
+
+/// Resolve the effective flush threshold: the `KFAC_FUSION_MB` env
+/// override wins, then the caller's configured value (e.g. from
+/// `TrainConfig`), then [`DEFAULT_FUSION_BYTES`] — clamped to
+/// `[MIN_FUSION_BYTES, MAX_FUSION_BYTES]` either way, so no setting can
+/// stall flushing or overflow a single wire frame. A tensor larger than
+/// the threshold still goes out in one message: `push` flushes the whole
+/// pending queue, oversized tail included, as soon as the threshold is
+/// crossed.
+///
+/// # Panics
+/// Panics with a clear message if `KFAC_FUSION_MB` is set but not an
+/// integer MiB count.
+pub fn resolve_threshold(configured: Option<usize>) -> usize {
+    let env = std::env::var("KFAC_FUSION_MB").ok().map(|s| {
+        s.parse::<usize>().map(|mb| mb << 20).unwrap_or_else(|_| {
+            panic!("KFAC_FUSION_MB={s:?} invalid; expected an integer MiB count")
+        })
+    });
+    env.or(configured)
+        .unwrap_or(DEFAULT_FUSION_BYTES)
+        .clamp(MIN_FUSION_BYTES, MAX_FUSION_BYTES)
+}
+
 /// One queued tensor awaiting fusion.
 struct Pending {
     /// Caller-side identifier, returned on completion.
@@ -44,6 +79,20 @@ impl FusionBuffer {
             pending_bytes: 0,
             done: Vec::new(),
         }
+    }
+
+    /// Buffer with the threshold resolved by [`resolve_threshold`]:
+    /// `KFAC_FUSION_MB` env override, then `configured`, then the
+    /// Horovod default — clamped either way. This is the constructor the
+    /// training stack uses; [`FusionBuffer::new`] keeps the raw threshold
+    /// for tests that pin exact flush points.
+    pub fn with_configured(configured: Option<usize>, op: ReduceOp, class: TrafficClass) -> Self {
+        FusionBuffer::new(resolve_threshold(configured), op, class)
+    }
+
+    /// The effective flush threshold in bytes.
+    pub fn threshold_bytes(&self) -> usize {
+        self.threshold_bytes
     }
 
     /// Queue tensor `id` for reduction. Flushes if the threshold is hit.
@@ -224,6 +273,35 @@ mod tests {
             vec![(3, vec![1.5, 2.5]), (4, vec![-1.0])]
         );
         assert_eq!(fb.pending_len(), 0);
+    }
+
+    #[test]
+    fn oversized_single_tensor_flushes_in_one_message() {
+        let comm = LocalComm::new();
+        // Threshold of 8 bytes; one 100-element tensor (400 bytes) must
+        // still go out as exactly one collective, not panic or stall.
+        let mut fb = FusionBuffer::new(8, ReduceOp::Sum, TrafficClass::Gradient);
+        fb.push(0, vec![2.0; 100], &comm);
+        assert_eq!(fb.pending_len(), 0);
+        assert_eq!(comm.traffic().ops, 1);
+        assert_eq!(comm.traffic().gradient_bytes, 400);
+        assert_eq!(fb.take_completed(), vec![(0, vec![2.0; 100])]);
+    }
+
+    #[test]
+    fn resolve_threshold_clamps_and_defaults() {
+        // Note: env-free process assumption — CI never sets KFAC_FUSION_MB
+        // for unit tests.
+        assert_eq!(resolve_threshold(None), DEFAULT_FUSION_BYTES);
+        assert_eq!(resolve_threshold(Some(0)), MIN_FUSION_BYTES);
+        assert_eq!(resolve_threshold(Some(usize::MAX)), MAX_FUSION_BYTES);
+        assert_eq!(resolve_threshold(Some(1 << 20)), 1 << 20);
+    }
+
+    #[test]
+    fn configured_constructor_applies_clamp() {
+        let fb = FusionBuffer::with_configured(Some(1), ReduceOp::Sum, TrafficClass::Factor);
+        assert_eq!(fb.threshold_bytes(), MIN_FUSION_BYTES);
     }
 
     #[test]

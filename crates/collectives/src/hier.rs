@@ -1,0 +1,411 @@
+//! Hierarchical two-level communicator.
+//!
+//! Real clusters are not flat: GPUs within a node talk over NVLink/shared
+//! memory, nodes talk over the interconnect. Horovod exploits this with
+//! hierarchical allreduce (local reduce → inter-node exchange among node
+//! leaders → local broadcast), and the paper's 64–256 GPU runs live or die
+//! on it. [`HierComm`] composes two [`Communicator`]s the same way: an
+//! *intra* group (e.g. [`crate::ThreadComm`] threads standing in for the
+//! GPUs of one node) and an *inter* group held only by each node's leader
+//! (local rank 0 — e.g. [`crate::proc::ProcComm`] across processes
+//! standing in for nodes).
+//!
+//! Rank layout is uniform: global rank `= node * intra_size + local
+//! rank`. The composition works for any two backends, which is the point:
+//! thread-over-thread for unit tests, thread-over-proc for the real
+//! two-level fabric.
+//!
+//! ## Determinism
+//!
+//! Hierarchical reduction is *deterministic* (fixed grouping, fixed
+//! order: rank-ordered within each node, then node-ordered across
+//! leaders) but **not bitwise-identical to the flat rank-order
+//! reduction** — the association differs: `((x₀+x₁)+(x₂+x₃))` vs
+//! `(((x₀+x₁)+x₂)+x₃)`. That is the same trade Horovod's hierarchical
+//! mode makes. Runs are bit-reproducible *given the hierarchy shape*;
+//! cross-shape comparisons agree only to floating-point tolerance. Tests
+//! pin both properties.
+
+use crate::communicator::{Communicator, ReduceOp};
+use crate::handle::CollectiveError;
+use crate::thread::ThreadComm;
+use crate::traffic::{Traffic, TrafficClass};
+
+/// Two-level communicator: `intra` within a node, `inter` across node
+/// leaders (held only where `intra.rank() == 0`).
+pub struct HierComm<A: Communicator, B: Communicator> {
+    intra: A,
+    inter: Option<B>,
+    node: usize,
+    nodes: usize,
+}
+
+impl<A: Communicator, B: Communicator> HierComm<A, B> {
+    /// Compose `intra` (this node's group) with `inter` (the leader
+    /// group; `Some` exactly on local rank 0).
+    ///
+    /// # Panics
+    /// Panics if the leader/inter invariants are violated — that is a
+    /// wiring bug, not a runtime fault.
+    pub fn new(intra: A, inter: Option<B>, node: usize, nodes: usize) -> Self {
+        assert!(node < nodes, "node index out of range");
+        assert_eq!(
+            intra.rank() == 0,
+            inter.is_some(),
+            "inter communicator must be held by local rank 0 exactly"
+        );
+        if let Some(inter) = &inter {
+            assert_eq!(
+                inter.size(),
+                nodes,
+                "inter group size must equal node count"
+            );
+            assert_eq!(inter.rank(), node, "inter rank must equal node index");
+        }
+        HierComm {
+            intra,
+            inter,
+            node,
+            nodes,
+        }
+    }
+
+    /// Node-local rank.
+    pub fn local_rank(&self) -> usize {
+        self.intra.rank()
+    }
+
+    /// This rank's node index.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+impl HierComm<ThreadComm, ThreadComm> {
+    /// Build a full two-level fabric entirely out of thread groups:
+    /// `nodes × per_node` communicators indexed by global rank. Used by
+    /// tests and single-process experiments to model hierarchy shape.
+    pub fn create_thread_hierarchy(
+        nodes: usize,
+        per_node: usize,
+    ) -> Vec<HierComm<ThreadComm, ThreadComm>> {
+        assert!(nodes > 0 && per_node > 0);
+        let mut leaders: Vec<Option<ThreadComm>> =
+            ThreadComm::create(nodes).into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(nodes * per_node);
+        for (node, leader) in leaders.iter_mut().enumerate() {
+            let intra = ThreadComm::create(per_node);
+            for (local, intra) in intra.into_iter().enumerate() {
+                let inter = if local == 0 { leader.take() } else { None };
+                out.push(HierComm::new(intra, inter, node, nodes));
+            }
+        }
+        out
+    }
+}
+
+impl<A: Communicator, B: Communicator> Communicator for HierComm<A, B> {
+    fn rank(&self) -> usize {
+        self.node * self.intra.size() + self.intra.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.nodes * self.intra.size()
+    }
+
+    fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
+        self.try_allreduce_tagged(buf, op, class)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        self.try_allgather_tagged(payload, class)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
+        self.try_broadcast_tagged(buf, root, class)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_allreduce_tagged(
+        &self,
+        buf: &mut [f32],
+        op: ReduceOp,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
+        // Average must divide by the *global* size exactly once, so both
+        // levels run the undivided combine and the mean is applied last.
+        let level_op = match op {
+            ReduceOp::Average => ReduceOp::Sum,
+            other => other,
+        };
+        self.intra.try_allreduce_tagged(buf, level_op, class)?;
+        if let Some(inter) = &self.inter {
+            inter.try_allreduce_tagged(buf, level_op, class)?;
+        }
+        self.intra.try_broadcast_tagged(buf, 0, class)?;
+        if op == ReduceOp::Average {
+            let inv = 1.0 / self.size() as f32;
+            for v in buf.iter_mut() {
+                *v *= inv;
+            }
+        }
+        Ok(())
+    }
+
+    fn try_allgather_tagged(
+        &self,
+        payload: &[f32],
+        class: TrafficClass,
+    ) -> Result<Vec<Vec<f32>>, CollectiveError> {
+        let per_node = self.intra.size();
+        let global = self.size();
+        // Gather within the node, then leaders exchange packed node
+        // blocks: [local lengths][concatenated data]. Lengths ride as
+        // f32s — exact up to 2^24 elements, far beyond any payload here.
+        let local = self.intra.try_allgather_tagged(payload, class)?;
+        let mut result: Vec<Vec<f32>> = vec![Vec::new(); global];
+        if let Some(inter) = &self.inter {
+            let mut packed: Vec<f32> =
+                Vec::with_capacity(per_node + local.iter().map(|p| p.len()).sum::<usize>());
+            for p in &local {
+                debug_assert!(p.len() < (1 << 24));
+                packed.push(p.len() as f32);
+            }
+            for p in &local {
+                packed.extend_from_slice(p);
+            }
+            let node_blocks = inter.try_allgather_tagged(&packed, class)?;
+            for (node, block) in node_blocks.iter().enumerate() {
+                if block.len() < per_node {
+                    return Err(CollectiveError::Mismatch(
+                        "hierarchical allgather node block malformed",
+                    ));
+                }
+                let mut offset = per_node;
+                for local_rank in 0..per_node {
+                    let len = block[local_rank] as usize;
+                    if offset + len > block.len() {
+                        return Err(CollectiveError::Mismatch(
+                            "hierarchical allgather node block malformed",
+                        ));
+                    }
+                    result[node * per_node + local_rank] = block[offset..offset + len].to_vec();
+                    offset += len;
+                }
+            }
+        }
+        // Leader fans the global result out locally: fixed-size length
+        // header first, then the flattened payloads.
+        let mut lens: Vec<f32> = if self.inter.is_some() {
+            result.iter().map(|p| p.len() as f32).collect()
+        } else {
+            vec![0.0; global]
+        };
+        self.intra.try_broadcast_tagged(&mut lens, 0, class)?;
+        let total: usize = lens.iter().map(|&l| l as usize).sum();
+        let mut flat: Vec<f32> = if self.inter.is_some() {
+            result.iter().flat_map(|p| p.iter().copied()).collect()
+        } else {
+            vec![0.0; total]
+        };
+        self.intra.try_broadcast_tagged(&mut flat, 0, class)?;
+        if self.inter.is_some() {
+            return Ok(result);
+        }
+        let mut offset = 0;
+        for (slot, &len) in result.iter_mut().zip(&lens) {
+            let len = len as usize;
+            *slot = flat[offset..offset + len].to_vec();
+            offset += len;
+        }
+        Ok(result)
+    }
+
+    fn try_broadcast_tagged(
+        &self,
+        buf: &mut [f32],
+        root: usize,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
+        let per_node = self.intra.size();
+        if root >= self.size() {
+            return Err(CollectiveError::Mismatch("broadcast root out of range"));
+        }
+        let root_node = root / per_node;
+        let root_local = root % per_node;
+        // Hoist to the owner node's leader, cross the inter level, then
+        // fan out locally everywhere.
+        if self.node == root_node {
+            self.intra.try_broadcast_tagged(buf, root_local, class)?;
+        }
+        if let Some(inter) = &self.inter {
+            inter.try_broadcast_tagged(buf, root_node, class)?;
+        }
+        self.intra.try_broadcast_tagged(buf, 0, class)
+    }
+
+    fn barrier(&self) {
+        // Entry barrier within the node, leaders synchronize across
+        // nodes, then a release barrier so non-leaders wait for the
+        // inter level.
+        self.intra.barrier();
+        if let Some(inter) = &self.inter {
+            inter.barrier();
+        }
+        self.intra.barrier();
+    }
+
+    fn traffic(&self) -> Traffic {
+        let a = self.intra.traffic();
+        let b = self.inter.as_ref().map(|i| i.traffic()).unwrap_or_default();
+        Traffic {
+            gradient_bytes: a.gradient_bytes + b.gradient_bytes,
+            factor_bytes: a.factor_bytes + b.factor_bytes,
+            eigen_bytes: a.eigen_bytes + b.eigen_bytes,
+            precond_bytes: a.precond_bytes + b.precond_bytes,
+            other_bytes: a.other_bytes + b.other_bytes,
+            ops: a.ops + b.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_hier<R: Send>(
+        nodes: usize,
+        per_node: usize,
+        f: impl Fn(usize, &HierComm<ThreadComm, ThreadComm>) -> R + Sync,
+    ) -> Vec<R> {
+        let comms = HierComm::create_thread_hierarchy(nodes, per_node);
+        let f = &f;
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|comm| s.spawn(move || f(comm.rank(), comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn global_ranks_are_uniform_layout() {
+        let ranks = run_hier(2, 3, |rank, comm| {
+            assert_eq!(comm.size(), 6);
+            (rank, comm.node(), comm.local_rank())
+        });
+        let mut seen: Vec<_> = ranks.iter().map(|&(r, _, _)| r).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        for (r, node, local) in ranks {
+            assert_eq!(r, node * 3 + local);
+        }
+    }
+
+    #[test]
+    fn hier_allreduce_sum_and_average() {
+        for (nodes, per_node) in [(2, 2), (2, 3), (3, 2), (1, 4), (4, 1)] {
+            let global = nodes * per_node;
+            let results = run_hier(nodes, per_node, |rank, comm| {
+                let mut buf = vec![rank as f32, 1.0];
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                let mut avg = vec![rank as f32];
+                comm.allreduce(&mut avg, ReduceOp::Average);
+                (buf, avg)
+            });
+            let sum: f32 = (0..global).map(|r| r as f32).sum();
+            for (buf, avg) in results {
+                assert_eq!(buf, vec![sum, global as f32], "{nodes}x{per_node}");
+                assert_eq!(avg, vec![sum / global as f32], "{nodes}x{per_node}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_allreduce_is_deterministic_across_runs() {
+        let run = || {
+            run_hier(2, 2, |rank, comm| {
+                // Values chosen so association order changes the bits.
+                let mut buf = vec![0.1f32 + rank as f32 * 1e-7, -3.3e5 * rank as f32];
+                comm.allreduce(&mut buf, ReduceOp::Average);
+                buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hier_allreduce_matches_f64_reference_to_tolerance() {
+        let global = 6;
+        let inputs: Vec<f32> = (0..global).map(|r| 0.37 + r as f32 * 1.13).collect();
+        let expect: f64 = inputs.iter().map(|&v| v as f64).sum::<f64>() / global as f64;
+        let results = run_hier(2, 3, |rank, comm| {
+            let mut buf = vec![0.37 + rank as f32 * 1.13];
+            comm.allreduce(&mut buf, ReduceOp::Average);
+            buf[0]
+        });
+        for r in results {
+            assert!((r as f64 - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hier_allgather_variable_lengths() {
+        let results = run_hier(2, 2, |rank, comm| {
+            let payload: Vec<f32> = (0..=rank).map(|i| (rank * 10 + i) as f32).collect();
+            comm.allgather(&payload)
+        });
+        for gathered in results {
+            assert_eq!(gathered.len(), 4);
+            for (r, block) in gathered.iter().enumerate() {
+                let expect: Vec<f32> = (0..=r).map(|i| (r * 10 + i) as f32).collect();
+                assert_eq!(*block, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn hier_broadcast_from_every_root() {
+        for root in 0..4 {
+            let results = run_hier(2, 2, move |rank, comm| {
+                let mut buf = if rank == root {
+                    vec![42.0, -1.5]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.broadcast(&mut buf, root);
+                buf
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, -1.5], "root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_max_reduction() {
+        let results = run_hier(3, 2, |rank, comm| {
+            let mut buf = vec![-(rank as f32), rank as f32];
+            comm.allreduce(&mut buf, ReduceOp::Max);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn hier_barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run_hier(2, 3, |_rank, comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(before.load(Ordering::SeqCst), 6);
+        });
+    }
+}

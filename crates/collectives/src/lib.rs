@@ -39,24 +39,48 @@
 //!   from one seed — plus [`RetryPolicy`], the bounded
 //!   exponential-backoff retry loop the hardened paths use.
 
+//! * [`algo`] — the collective *algorithm* layer: chunk-pipelined ring
+//!   and recursive halving/doubling allreduce (plus ring allgather and
+//!   binomial broadcast) over any point-to-point [`Transport`], with
+//!   size-based auto-selection behind a [`CollectiveAlgo`] policy and a
+//!   bitwise-pinned rank-order reduction.
+//! * [`proc`] — the multi-process backend: [`ProcComm`] ranks as OS
+//!   processes over localhost TCP (length-prefixed frames, broker
+//!   rendezvous, per-peer reader threads), running the same algorithm
+//!   layer for bit-identical results to [`ThreadComm`].
+//! * [`hier`] — [`HierComm`], the two-level (intra-node × inter-node)
+//!   composition of any two backends.
+//! * [`backend`] — [`CommBackend`], the one switch (`KFAC_COMM_BACKEND`)
+//!   that picks the fabric everywhere.
+
+pub mod algo;
+pub mod backend;
 pub mod communicator;
 pub mod cost;
 pub mod faults;
 pub mod fusion;
 pub mod handle;
+pub mod hier;
 pub mod local;
+pub mod proc;
 pub mod progress;
 pub mod retry;
 pub mod thread;
 pub mod traffic;
+pub mod transport;
 
+pub use algo::{AlgoComm, AlgoPolicy, CollectiveAlgo};
+pub use backend::CommBackend;
 pub use communicator::{Communicator, ReduceOp};
 pub use cost::LinkSpec;
 pub use faults::{ActiveFault, FaultKind, FaultPlan, FaultPlanConfig, FaultyCommunicator};
 pub use fusion::FusionBuffer;
 pub use handle::{CollectiveError, OpHandle, OpQueue, OpResult};
+pub use hier::HierComm;
 pub use local::LocalComm;
+pub use proc::{ProcComm, ProcConfig};
 pub use progress::ProgressEngine;
 pub use retry::RetryPolicy;
 pub use thread::ThreadComm;
 pub use traffic::{Traffic, TrafficClass};
+pub use transport::Transport;

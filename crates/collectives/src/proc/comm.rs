@@ -1,0 +1,322 @@
+//! The multi-process communicator: TCP mesh transport + algorithm layer.
+
+use super::bootstrap::{establish, ProcConfig};
+use super::wire::{bytes_to_f32s, f32s_to_bytes, read_frame, write_frame};
+use crate::algo::{AlgoComm, AlgoPolicy};
+use crate::communicator::{Communicator, ReduceOp};
+use crate::handle::CollectiveError;
+use crate::traffic::{Traffic, TrafficClass};
+use crate::transport::Transport;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Mailbox state shared between reader threads and collective callers.
+struct MailState {
+    /// Delivered-but-unclaimed messages, keyed by `(from, tag)`.
+    boxes: HashMap<(usize, u64), VecDeque<Vec<f32>>>,
+    /// Peers whose connection has closed or errored; receives from them
+    /// fail immediately with [`CollectiveError::RankFailed`].
+    dead: Vec<bool>,
+}
+
+/// TCP mesh endpoint implementing [`Transport`].
+///
+/// One dedicated reader thread per peer drains that peer's socket into
+/// the tag-keyed mailboxes, so sends never deadlock against receives
+/// (both sides of an exchange can write first; the kernel plus the reader
+/// thread buffer everything in flight). Writes go directly to the socket
+/// under a per-peer mutex.
+pub struct ProcTransport {
+    rank: usize,
+    world: usize,
+    timeout: Duration,
+    state: Arc<(Mutex<MailState>, Condvar)>,
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl ProcTransport {
+    /// Bootstrap the mesh per `cfg` and start the reader threads.
+    pub fn establish(
+        cfg: &ProcConfig,
+        pre_bound_root: Option<TcpListener>,
+    ) -> Result<ProcTransport, CollectiveError> {
+        let streams = establish(cfg, pre_bound_root)?;
+        let state = Arc::new((
+            Mutex::new(MailState {
+                boxes: HashMap::new(),
+                dead: vec![false; cfg.world],
+            }),
+            Condvar::new(),
+        ));
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(cfg.world);
+        let mut readers = Vec::new();
+        for (peer, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else {
+                writers.push(None);
+                continue;
+            };
+            let mut read_half = stream
+                .try_clone()
+                .map_err(|_| CollectiveError::RankFailed(cfg.rank))?;
+            let state = Arc::clone(&state);
+            let handle = std::thread::Builder::new()
+                .name(format!("kfac-proc-r{}-p{}", cfg.rank, peer))
+                .spawn(move || loop {
+                    match read_frame(&mut read_half) {
+                        Ok((tag, payload)) => match bytes_to_f32s(&payload) {
+                            Some(msg) => {
+                                let (lock, cv) = &*state;
+                                let mut st = lock.lock();
+                                st.boxes.entry((peer, tag)).or_default().push_back(msg);
+                                cv.notify_all();
+                            }
+                            None => {
+                                // Torn frame: poison the peer, callers see
+                                // RankFailed rather than silent corruption.
+                                let (lock, cv) = &*state;
+                                lock.lock().dead[peer] = true;
+                                cv.notify_all();
+                                return;
+                            }
+                        },
+                        Err(_) => {
+                            let (lock, cv) = &*state;
+                            lock.lock().dead[peer] = true;
+                            cv.notify_all();
+                            return;
+                        }
+                    }
+                })
+                .map_err(|_| CollectiveError::RankFailed(cfg.rank))?;
+            readers.push(handle);
+            writers.push(Some(Mutex::new(stream)));
+        }
+        Ok(ProcTransport {
+            rank: cfg.rank,
+            world: cfg.world,
+            timeout: cfg.timeout,
+            state,
+            writers,
+            readers,
+        })
+    }
+}
+
+impl Transport for ProcTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world
+    }
+
+    fn try_send(&self, to: usize, tag: u64, payload: &[f32]) -> Result<(), CollectiveError> {
+        let Some(writer) = self.writers.get(to).and_then(|w| w.as_ref()) else {
+            return Err(CollectiveError::Mismatch("send to invalid peer"));
+        };
+        let bytes = f32s_to_bytes(payload);
+        let mut stream = writer.lock();
+        write_frame(&mut *stream, tag, &bytes).map_err(|_| CollectiveError::RankFailed(to))
+    }
+
+    fn try_recv(&self, from: usize, tag: u64) -> Result<Vec<f32>, CollectiveError> {
+        let key = (from, tag);
+        let deadline = Instant::now() + self.timeout;
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock();
+        loop {
+            if let Some(q) = st.boxes.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        st.boxes.remove(&key);
+                    }
+                    return Ok(msg);
+                }
+            }
+            if *st.dead.get(from).unwrap_or(&true) {
+                return Err(CollectiveError::RankFailed(from));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CollectiveError::Timeout {
+                    waited_ms: self.timeout.as_millis() as u64,
+                });
+            }
+            cv.wait_for(&mut st, deadline - now);
+        }
+    }
+}
+
+impl Drop for ProcTransport {
+    fn drop(&mut self) {
+        // Wake the reader threads out of their blocking reads, then join
+        // them so no thread outlives the mailboxes it serves.
+        for writer in self.writers.iter().flatten() {
+            let _ = writer.lock().shutdown(Shutdown::Both);
+        }
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Multi-process communicator over localhost TCP.
+///
+/// Implements the full [`Communicator`] contract — infallible and
+/// fallible collectives, typed [`CollectiveError`]s, barrier, traffic
+/// accounting — by running the [`crate::algo`] algorithm layer over a
+/// [`ProcTransport`] mesh. Because the algorithms pin the canonical
+/// rank-order reduction, a `ProcComm` allreduce is bitwise identical to a
+/// [`crate::ThreadComm`] allreduce of the same inputs, and
+/// [`crate::FaultyCommunicator`] / [`crate::RetryPolicy`] wrap it
+/// unchanged.
+pub struct ProcComm {
+    inner: AlgoComm<ProcTransport>,
+}
+
+impl ProcComm {
+    /// Join (or, for rank 0, host) the group described by `cfg`, with the
+    /// algorithm policy taken from the environment.
+    pub fn connect(cfg: &ProcConfig) -> Result<ProcComm, CollectiveError> {
+        Self::connect_with(cfg, AlgoPolicy::from_env(), None)
+    }
+
+    /// [`ProcComm::connect`] with an explicit policy and optionally a
+    /// pre-bound root listener for rank 0 (in-process launches).
+    pub fn connect_with(
+        cfg: &ProcConfig,
+        policy: AlgoPolicy,
+        pre_bound_root: Option<TcpListener>,
+    ) -> Result<ProcComm, CollectiveError> {
+        let transport = ProcTransport::establish(cfg, pre_bound_root)?;
+        Ok(ProcComm {
+            inner: AlgoComm::new(transport, policy),
+        })
+    }
+
+    /// Join the group described by the `KFAC_PROC_*` environment.
+    /// `Ok(None)` when the environment does not describe a proc worker.
+    pub fn from_env() -> Result<Option<ProcComm>, String> {
+        match ProcConfig::from_env()? {
+            None => Ok(None),
+            Some(cfg) => ProcComm::connect(&cfg)
+                .map(Some)
+                .map_err(|e| format!("proc rendezvous failed for rank {}: {e}", cfg.rank)),
+        }
+    }
+
+    /// In-process group of `world` connected `ProcComm`s: real TCP
+    /// sockets, reader threads and wire framing, driven from threads of
+    /// one process. This is what unit/property/chaos tests use — it
+    /// exercises the entire proc stack without process spawning.
+    ///
+    /// # Panics
+    /// Panics if the local rendezvous fails (loopback networking broken).
+    pub fn create_local(world: usize) -> Vec<ProcComm> {
+        Self::create_local_with(world, AlgoPolicy::default(), ProcConfig::DEFAULT_TIMEOUT)
+            .expect("local proc rendezvous failed")
+    }
+
+    /// [`ProcComm::create_local`] with explicit policy and deadline.
+    pub fn create_local_with(
+        world: usize,
+        policy: AlgoPolicy,
+        timeout: Duration,
+    ) -> Result<Vec<ProcComm>, CollectiveError> {
+        assert!(world > 0, "communicator group must have at least one rank");
+        let root_listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|_| CollectiveError::RankFailed(0))?;
+        let root = root_listener
+            .local_addr()
+            .map_err(|_| CollectiveError::RankFailed(0))?
+            .to_string();
+        let mut pre_bound = Some(root_listener);
+        let handles: Vec<_> = (0..world)
+            .map(|rank| {
+                let cfg = ProcConfig {
+                    rank,
+                    world,
+                    root: root.clone(),
+                    timeout,
+                };
+                let listener = if rank == 0 { pre_bound.take() } else { None };
+                std::thread::Builder::new()
+                    .name(format!("kfac-proc-boot-{rank}"))
+                    .spawn(move || ProcComm::connect_with(&cfg, policy, listener))
+                    .expect("spawn bootstrap thread")
+            })
+            .collect();
+        let mut comms = Vec::with_capacity(world);
+        for h in handles {
+            comms.push(h.join().map_err(|_| CollectiveError::RankFailed(0))??);
+        }
+        Ok(comms)
+    }
+
+    /// The active algorithm policy.
+    pub fn policy(&self) -> AlgoPolicy {
+        self.inner.policy()
+    }
+}
+
+impl Communicator for ProcComm {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn allreduce_tagged(&self, buf: &mut [f32], op: ReduceOp, class: TrafficClass) {
+        self.inner.allreduce_tagged(buf, op, class);
+    }
+
+    fn allgather_tagged(&self, payload: &[f32], class: TrafficClass) -> Vec<Vec<f32>> {
+        self.inner.allgather_tagged(payload, class)
+    }
+
+    fn broadcast_tagged(&self, buf: &mut [f32], root: usize, class: TrafficClass) {
+        self.inner.broadcast_tagged(buf, root, class);
+    }
+
+    fn try_allreduce_tagged(
+        &self,
+        buf: &mut [f32],
+        op: ReduceOp,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
+        self.inner.try_allreduce_tagged(buf, op, class)
+    }
+
+    fn try_allgather_tagged(
+        &self,
+        payload: &[f32],
+        class: TrafficClass,
+    ) -> Result<Vec<Vec<f32>>, CollectiveError> {
+        self.inner.try_allgather_tagged(payload, class)
+    }
+
+    fn try_broadcast_tagged(
+        &self,
+        buf: &mut [f32],
+        root: usize,
+        class: TrafficClass,
+    ) -> Result<(), CollectiveError> {
+        self.inner.try_broadcast_tagged(buf, root, class)
+    }
+
+    fn barrier(&self) {
+        self.inner.barrier();
+    }
+
+    fn traffic(&self) -> Traffic {
+        self.inner.traffic()
+    }
+}

@@ -1,0 +1,36 @@
+//! # Multi-process collective backend
+//!
+//! Real N-process groups over localhost TCP — the step from "N threads
+//! pretending to be ranks" to separate OS processes with a wire protocol,
+//! which is what makes the α/β cost model *measurable* instead of assumed
+//! (`xp bench-allreduce` → `BENCH_allreduce.json` → `kfac-cluster`
+//! calibration).
+//!
+//! Layers, bottom up:
+//!
+//! * [`wire`] — length-prefixed frames: `[len u32][tag u64][payload]`,
+//!   `f32` payloads in little-endian.
+//! * [`bootstrap`] — broker rendezvous keyed by `KFAC_PROC_*` env
+//!   (`RANK`, `WORLD`, `ROOT`, `TIMEOUT_MS`) and pairwise mesh dialing,
+//!   deadline-bounded with typed errors.
+//! * [`ProcTransport`] — per-peer persistent connections, one reader
+//!   thread per peer draining into tag-keyed mailboxes (sends never
+//!   deadlock against receives), per-receive deadlines.
+//! * [`ProcComm`] — the [`crate::Communicator`] built by running the
+//!   [`crate::algo`] layer (pipelined ring / halving-doubling / flat,
+//!   auto-selected by size) over that mesh. Bitwise-identical reductions
+//!   to [`crate::ThreadComm`]; wraps cleanly in
+//!   [`crate::FaultyCommunicator`] and [`crate::RetryPolicy`].
+//!
+//! Launching: a parent picks a rendezvous port, spawns N workers with
+//! [`ProcConfig::env_for_rank`], and each worker calls
+//! [`ProcComm::from_env`] (the `xp` binary does this automatically — see
+//! `kfac-harness::procrun`). Tests use [`ProcComm::create_local`], which
+//! drives the identical TCP stack from threads of one process.
+
+pub mod bootstrap;
+pub mod comm;
+pub mod wire;
+
+pub use bootstrap::ProcConfig;
+pub use comm::{ProcComm, ProcTransport};

@@ -1,0 +1,119 @@
+//! Length-prefixed wire framing for the proc backend.
+//!
+//! Every message on every TCP connection — bootstrap handshakes and
+//! collective payloads alike — is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [tag: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! `len` counts payload bytes only. Collective payloads are `f32`s in
+//! little-endian byte order; bootstrap payloads are protocol-specific byte
+//! strings (see [`super::bootstrap`]). Frames carry their own length, so
+//! variable-length allgather payloads need no separate length exchange.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload; a corrupted length prefix fails
+/// fast instead of attempting a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Frame header size: u32 length + u64 tag.
+const HEADER_BYTES: usize = 12;
+
+/// Write one frame. Header and payload are coalesced into a single
+/// `write_all` so small frames leave in one segment under `TCP_NODELAY`.
+pub fn write_frame(w: &mut impl Write, tag: u64, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&tag.to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame, blocking until the full payload arrives.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u64, Vec<u8>)> {
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let tag = u64::from_le_bytes(header[4..].try_into().unwrap());
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Encode an `f32` slice as little-endian bytes.
+pub fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes back into `f32`s; `None` if the length is
+/// not a multiple of four (a torn or corrupted frame).
+pub fn bytes_to_f32s(bytes: &[u8]) -> Option<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0xDEAD_BEEF_u64, &[1, 2, 3, 4, 5]).unwrap();
+        let (tag, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(tag, 0xDEAD_BEEF_u64);
+        assert_eq!(payload, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, &[]).unwrap();
+        let (tag, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(tag, 7);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn f32_payload_round_trips_bitwise() {
+        let data = vec![0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, 3.0e38, -7.25];
+        let decoded = bytes_to_f32s(&f32s_to_bytes(&data)).unwrap();
+        assert_eq!(data.len(), decoded.len());
+        for (a, b) in data.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_payload_is_rejected() {
+        assert!(bytes_to_f32s(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+}

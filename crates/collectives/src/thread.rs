@@ -27,9 +27,19 @@
 use crate::communicator::{combine_into, finalize, Communicator, ReduceOp};
 use crate::handle::CollectiveError;
 use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
+use crate::transport::Transport;
 use kfac_telemetry::Span;
 use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Point-to-point mailboxes keyed by `(from, to, tag)`.
+type MeshMailboxes = HashMap<(usize, usize, u64), VecDeque<Vec<f32>>>;
+
+/// How long a mailbox receive waits before declaring the sender lost.
+/// Generous: in-process peers only miss a send when their thread died.
+const MESH_RECV_TIMEOUT: Duration = Duration::from_secs(20);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -73,6 +83,11 @@ struct Shared {
     slot: Mutex<Slot>,
     cv: Condvar,
     traffic: Arc<TrafficCounter>,
+    /// Point-to-point mailboxes backing the [`Transport`] impl so the
+    /// algorithm layer (`crate::algo`) can run its ring/halving-doubling
+    /// collectives over thread ranks.
+    mesh: Mutex<MeshMailboxes>,
+    mesh_cv: Condvar,
 }
 
 /// One rank's handle onto a thread-rank communicator group.
@@ -105,6 +120,8 @@ impl ThreadComm {
             }),
             cv: Condvar::new(),
             traffic: TrafficCounter::new(),
+            mesh: Mutex::new(HashMap::new()),
+            mesh_cv: Condvar::new(),
         });
         (0..size)
             .map(|rank| ThreadComm {
@@ -208,6 +225,49 @@ impl ThreadComm {
         if let Some((registry, _)) = kfac_telemetry::current() {
             registry.counter("comm/ops").inc();
             registry.counter(class.byte_counter_name()).add(bytes);
+        }
+    }
+}
+
+impl Transport for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn try_send(&self, to: usize, tag: u64, payload: &[f32]) -> Result<(), CollectiveError> {
+        debug_assert!(to < self.shared.size);
+        let mut mesh = self.shared.mesh.lock();
+        mesh.entry((self.rank, to, tag))
+            .or_default()
+            .push_back(payload.to_vec());
+        self.shared.mesh_cv.notify_all();
+        Ok(())
+    }
+
+    fn try_recv(&self, from: usize, tag: u64) -> Result<Vec<f32>, CollectiveError> {
+        let key = (from, self.rank, tag);
+        let deadline = Instant::now() + MESH_RECV_TIMEOUT;
+        let mut mesh = self.shared.mesh.lock();
+        loop {
+            if let Some(q) = mesh.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        mesh.remove(&key);
+                    }
+                    return Ok(msg);
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CollectiveError::Timeout {
+                    waited_ms: MESH_RECV_TIMEOUT.as_millis() as u64,
+                });
+            }
+            self.shared.mesh_cv.wait_for(&mut mesh, deadline - now);
         }
     }
 }

@@ -1,0 +1,76 @@
+//! Point-to-point transport under the collective algorithm layer.
+//!
+//! The algorithm layer ([`crate::algo`]) expresses ring, halving/doubling
+//! and tree collectives purely in terms of tagged point-to-point messages
+//! between ranks. Anything that can move a tagged `f32` payload from one
+//! rank to another can host every algorithm: the in-process
+//! [`crate::ThreadComm`] mailbox mesh and the multi-process TCP
+//! [`crate::proc::ProcComm`] both implement this trait, which is what lets
+//! one algorithm implementation be *bitwise identical* across backends.
+//!
+//! Semantics:
+//!
+//! * `try_send` is **non-blocking and buffered**: it enqueues (or writes to
+//!   a kernel socket buffer drained by a peer reader thread) and returns.
+//!   Messages between a `(sender, receiver)` pair are delivered in send
+//!   order.
+//! * `try_recv` blocks until a message with the exact `(from, tag)` key is
+//!   available, up to the transport's configured deadline, then fails with
+//!   [`CollectiveError::Timeout`]. A permanently gone peer surfaces as
+//!   [`CollectiveError::RankFailed`].
+//! * Tags disambiguate messages of different operations/phases/chunks that
+//!   may be in flight concurrently (the pipelined algorithms keep many
+//!   chunks outstanding). See [`make_tag`].
+
+use crate::handle::CollectiveError;
+
+/// A rank's endpoint in a fully-connected point-to-point mesh.
+pub trait Transport: Send + Sync {
+    /// This endpoint's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the mesh.
+    fn size(&self) -> usize;
+
+    /// Buffered, ordered send of `payload` to rank `to` under `tag`.
+    fn try_send(&self, to: usize, tag: u64, payload: &[f32]) -> Result<(), CollectiveError>;
+
+    /// Blocking receive of the next message from rank `from` with exactly
+    /// this `tag`, bounded by the transport deadline.
+    fn try_recv(&self, from: usize, tag: u64) -> Result<Vec<f32>, CollectiveError>;
+}
+
+/// Bits of the tag reserved for the chunk/step index.
+const IDX_BITS: u32 = 20;
+/// Bits of the tag reserved for the algorithm phase.
+const PHASE_BITS: u32 = 4;
+
+/// Pack `(op_seq, phase, idx)` into one wire tag.
+///
+/// `op_seq` is a per-endpoint collective sequence number (every rank issues
+/// the same collective sequence, so sequence numbers agree group-wide),
+/// `phase` separates stages within one collective (reduce vs broadcast legs
+/// of the ring), and `idx` is the chunk or round index within a phase.
+/// 2^20 chunks × 2^4 phases leaves 2^40 collectives before wraparound.
+pub fn make_tag(op_seq: u64, phase: u8, idx: u32) -> u64 {
+    debug_assert!(idx < (1 << IDX_BITS));
+    debug_assert!((phase as u32) < (1 << PHASE_BITS));
+    (op_seq << (IDX_BITS + PHASE_BITS)) | ((phase as u64) << IDX_BITS) | idx as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique_across_fields() {
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..4u64 {
+            for phase in 0..4u8 {
+                for idx in 0..8u32 {
+                    assert!(seen.insert(make_tag(seq, phase, idx)));
+                }
+            }
+        }
+    }
+}

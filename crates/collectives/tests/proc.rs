@@ -1,0 +1,308 @@
+//! Integration tests for the multi-process TCP backend.
+//!
+//! `ProcComm::create_local` drives the full proc stack — broker
+//! rendezvous, pairwise TCP mesh, wire framing, reader threads, the
+//! algorithm layer — from threads of one process, so these tests exercise
+//! every byte of the wire path without spawning executables (the true
+//! multi-process path is covered by `kfac-harness/tests/proc_train.rs`).
+
+use kfac_collectives::algo::{AlgoPolicy, CollectiveAlgo};
+use kfac_collectives::proc::{ProcComm, ProcConfig};
+use kfac_collectives::{
+    CollectiveError, Communicator, FaultPlan, FaultPlanConfig, FaultyCommunicator, ReduceOp,
+    RetryPolicy, ThreadComm, TrafficClass,
+};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Run `f(rank, comm)` on every rank of a fresh proc group.
+fn run_proc_group<R: Send>(
+    size: usize,
+    policy: AlgoPolicy,
+    f: impl Fn(usize, &ProcComm) -> R + Sync,
+) -> Vec<R> {
+    let comms = ProcComm::create_local_with(size, policy, ProcConfig::DEFAULT_TIMEOUT)
+        .expect("local proc rendezvous");
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .iter()
+            .map(|comm| s.spawn(move || f(comm.rank(), comm)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+fn run_thread_group<R: Send>(size: usize, f: impl Fn(usize, &ThreadComm) -> R + Sync) -> Vec<R> {
+    let comms = ThreadComm::create(size);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .iter()
+            .enumerate()
+            .map(|(rank, comm)| s.spawn(move || f(rank, comm)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn proc_allreduce_sum_all_sizes() {
+    for size in [1, 2, 3, 4] {
+        let results = run_proc_group(size, AlgoPolicy::default(), |rank, comm| {
+            let mut buf = vec![rank as f32, 1.0];
+            comm.allreduce(&mut buf, ReduceOp::Sum);
+            buf
+        });
+        let expect_sum: f32 = (0..size).map(|r| r as f32).sum();
+        for r in &results {
+            assert_eq!(r[0], expect_sum, "size {size}");
+            assert_eq!(r[1], size as f32);
+        }
+    }
+}
+
+#[test]
+fn proc_allreduce_average_and_max() {
+    let results = run_proc_group(4, AlgoPolicy::default(), |rank, comm| {
+        let mut avg = vec![(rank * 2) as f32];
+        comm.allreduce(&mut avg, ReduceOp::Average);
+        let mut mx = vec![-(rank as f32), rank as f32];
+        comm.allreduce(&mut mx, ReduceOp::Max);
+        (avg[0], mx)
+    });
+    for (avg, mx) in results {
+        assert_eq!(avg, 3.0);
+        assert_eq!(mx, vec![0.0, 3.0]);
+    }
+}
+
+#[test]
+fn proc_allgather_variable_lengths() {
+    let results = run_proc_group(3, AlgoPolicy::default(), |rank, comm| {
+        let payload: Vec<f32> = (0..=rank).map(|i| (rank * 10 + i) as f32).collect();
+        comm.allgather(&payload)
+    });
+    for gathered in &results {
+        assert_eq!(gathered.len(), 3);
+        assert_eq!(gathered[0], vec![0.0]);
+        assert_eq!(gathered[1], vec![10.0, 11.0]);
+        assert_eq!(gathered[2], vec![20.0, 21.0, 22.0]);
+    }
+}
+
+#[test]
+fn proc_broadcast_from_each_root() {
+    for root in 0..3 {
+        let results = run_proc_group(3, AlgoPolicy::default(), move |rank, comm| {
+            let mut buf = if rank == root {
+                vec![42.0, 43.0]
+            } else {
+                vec![0.0, 0.0]
+            };
+            comm.broadcast(&mut buf, root);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![42.0, 43.0]);
+        }
+    }
+}
+
+#[test]
+fn proc_barrier_orders_phases() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let before = AtomicUsize::new(0);
+    run_proc_group(4, AlgoPolicy::default(), |_rank, comm| {
+        before.fetch_add(1, Ordering::SeqCst);
+        comm.barrier();
+        assert_eq!(before.load(Ordering::SeqCst), 4);
+    });
+}
+
+#[test]
+fn proc_mixed_op_sequences() {
+    let results = run_proc_group(4, AlgoPolicy::default(), |rank, comm| {
+        let mut acc = 0.0f32;
+        for round in 0..10 {
+            let mut g = vec![rank as f32 + round as f32; 8];
+            comm.allreduce(&mut g, ReduceOp::Average);
+            acc += g[0];
+            let gathered = comm.allgather(&[rank as f32]);
+            assert_eq!(gathered.len(), 4);
+            let mut b = vec![if rank == round % 4 { 7.0 } else { 0.0 }];
+            comm.broadcast(&mut b, round % 4);
+            assert_eq!(b[0], 7.0);
+            comm.barrier();
+        }
+        acc
+    });
+    let expect: f32 = (0..10).map(|round| 1.5 + round as f32).sum();
+    for r in results {
+        assert!((r - expect).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn proc_traffic_is_recorded_per_class() {
+    let results = run_proc_group(2, AlgoPolicy::default(), |_rank, comm| {
+        let mut buf = vec![0.0f32; 100];
+        comm.allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient);
+        comm.allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Factor);
+        let _ = comm.allgather_tagged(&buf, TrafficClass::Eigen);
+        comm.traffic()
+    });
+    for t in results {
+        assert_eq!(t.gradient_bytes, 400);
+        assert_eq!(t.factor_bytes, 400);
+        assert_eq!(t.eigen_bytes, 400);
+        assert_eq!(t.ops, 3);
+    }
+}
+
+/// The acceptance-criterion invariant at the collectives level: a proc
+/// allreduce is bitwise identical to the ThreadComm rendezvous reduction,
+/// for every algorithm and awkward sizes (non-power-of-two ranks, lengths
+/// straddling the chunk size).
+#[test]
+fn proc_allreduce_bitwise_matches_threadcomm() {
+    // Values whose sum depends on association order, so any deviation
+    // from the canonical rank-order reduction flips bits.
+    let data = |rank: usize, len: usize| -> Vec<f32> {
+        (0..len)
+            .map(|i| ((rank * 31 + i) as f32).sin() * 1e3 + (i as f32) * 1e-3)
+            .collect()
+    };
+    for size in [2usize, 3, 4] {
+        for len in [5usize, 16, 33, 100] {
+            for op in [ReduceOp::Sum, ReduceOp::Average] {
+                let reference: Vec<Vec<u32>> = run_thread_group(size, |rank, comm| {
+                    let mut buf = data(rank, len);
+                    comm.allreduce(&mut buf, op);
+                    buf.iter().map(|v| v.to_bits()).collect()
+                });
+                for algo in [
+                    CollectiveAlgo::Flat,
+                    CollectiveAlgo::PipelinedRing,
+                    CollectiveAlgo::HalvingDoubling,
+                ] {
+                    let policy = AlgoPolicy {
+                        algo,
+                        chunk_elems: 16, // force multi-chunk pipelines at len 33+
+                        ..AlgoPolicy::default()
+                    };
+                    let got: Vec<Vec<u32>> = run_proc_group(size, policy, |rank, comm| {
+                        let mut buf = data(rank, len);
+                        comm.allreduce(&mut buf, op);
+                        buf.iter().map(|v| v.to_bits()).collect()
+                    });
+                    assert_eq!(
+                        got, reference,
+                        "algo {:?} size {size} len {len} op {op:?}",
+                        algo
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn proc_recv_deadline_times_out_as_typed_error() {
+    let comms = ProcComm::create_local_with(2, AlgoPolicy::default(), Duration::from_millis(300))
+        .expect("local proc rendezvous");
+    let mut it = comms.into_iter();
+    let c0 = it.next().unwrap();
+    let _c1 = it.next().unwrap(); // rank 1 never joins the collective
+    let mut buf = vec![1.0f32; 8];
+    let err = c0
+        .try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Other)
+        .unwrap_err();
+    assert!(
+        matches!(err, CollectiveError::Timeout { waited_ms } if waited_ms >= 300),
+        "{err:?}"
+    );
+    assert!(err.is_retryable());
+}
+
+#[test]
+fn proc_peer_disconnect_surfaces_rank_failed() {
+    let comms = ProcComm::create_local_with(2, AlgoPolicy::default(), Duration::from_secs(5))
+        .expect("local proc rendezvous");
+    let mut it = comms.into_iter();
+    let c0 = it.next().unwrap();
+    let c1 = it.next().unwrap();
+    drop(c1); // rank 1's sockets close; rank 0 must see a permanent failure
+    let mut buf = vec![1.0f32; 8];
+    let err = c0
+        .try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Other)
+        .unwrap_err();
+    assert_eq!(err, CollectiveError::RankFailed(1));
+    assert!(!err.is_retryable());
+}
+
+/// `FaultyCommunicator` + `RetryPolicy` wrap `ProcComm` exactly as they
+/// wrap `ThreadComm`: injected transient faults are retried through to
+/// the same reduced result. The plan is shared and every rank's wrapper
+/// advances its cursor in lockstep (each retry consumes one index on
+/// every rank), so the group never desynchronizes.
+#[test]
+fn proc_wrapped_in_faulty_communicator_retries_to_success() {
+    let world = 2;
+    let plan = Arc::new(FaultPlan::new(
+        FaultPlanConfig {
+            seed: 11,
+            transient_prob: 0.2,
+            transient_ops: 1,
+            ..FaultPlanConfig::default()
+        },
+        world,
+    ));
+    let comms =
+        ProcComm::create_local_with(world, AlgoPolicy::default(), ProcConfig::DEFAULT_TIMEOUT)
+            .expect("local proc rendezvous");
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    };
+    let results: Vec<Vec<f32>> = thread::scope(|s| {
+        comms
+            .into_iter()
+            .map(|comm| {
+                let plan = Arc::clone(&plan);
+                s.spawn(move || {
+                    let rank = comm.rank();
+                    let faulty = FaultyCommunicator::new(comm, plan);
+                    let mut sums = Vec::new();
+                    for round in 0..20 {
+                        let src = vec![rank as f32 + round as f32; 4];
+                        let mut buf = src.clone();
+                        policy
+                            .run(|| {
+                                buf.copy_from_slice(&src);
+                                faulty.try_allreduce_tagged(
+                                    &mut buf,
+                                    ReduceOp::Sum,
+                                    TrafficClass::Gradient,
+                                )
+                            })
+                            .unwrap();
+                        sums.push(buf[0]);
+                    }
+                    sums
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for sums in results {
+        for (round, &v) in sums.iter().enumerate() {
+            let expect: f32 = (0..world).map(|r| r as f32 + round as f32).sum();
+            assert_eq!(v, expect, "round {round}");
+        }
+    }
+}

@@ -46,6 +46,13 @@ const DEFAULT_METRICS_PORT: u16 = 9184;
 const STAGE_TABLE_REFRESH_S: u64 = 10;
 
 fn main() {
+    // Proc-worker mode: when spawned by `procrun::spawn_world` the
+    // rendezvous env is set, and this process is a rank, not a CLI — it
+    // joins the TCP mesh and runs the assigned job (before any flag
+    // parsing, so a worker never misreads launcher arguments).
+    if std::env::var("KFAC_PROC_RANK").is_ok() {
+        std::process::exit(kfac_harness::procrun::worker_main());
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage_and_exit();
@@ -61,6 +68,14 @@ fn main() {
     }
     if target == "bench-kernels" {
         run_bench_kernels(&args[1..]);
+        return;
+    }
+    if target == "bench-allreduce" {
+        run_bench_allreduce(&args[1..]);
+        return;
+    }
+    if target == "proc-train" {
+        run_proc_train(&args[1..]);
         return;
     }
 
@@ -295,6 +310,109 @@ fn run_bench_kernels(args: &[String]) {
     }
 }
 
+/// `xp bench-allreduce [--ranks N] [--iters K] [--json [FILE]]` —
+/// measure ProcComm allreduce latency per algorithm across message sizes
+/// on a real multi-process world, fit the α/β link model, and locate the
+/// halving/doubling↔pipelined-ring crossover. `--json` writes the
+/// machine-readable document (default `BENCH_allreduce.json`) that
+/// `kfac-cluster`'s calibration consumes.
+fn run_bench_allreduce(args: &[String]) {
+    let mut ranks = 4usize;
+    let mut iters = kfac_harness::procrun::DEFAULT_BENCH_ITERS;
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ranks" => {
+                i += 1;
+                ranks = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| flag_error("--ranks needs a positive integer"));
+            }
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| flag_error("--iters needs a positive integer"));
+            }
+            "--json" => {
+                let path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_allreduce.json".to_string(),
+                };
+                json_path = Some(PathBuf::from(path));
+            }
+            other => flag_error(&format!(
+                "unknown flag {other} (bench-allreduce takes [--ranks N] [--iters K] [--json [FILE]])"
+            )),
+        }
+        i += 1;
+    }
+    let started = std::time::Instant::now();
+    let outcome = kfac_harness::procrun::run_bench_allreduce(
+        ranks,
+        iters,
+        kfac_harness::procrun::DEFAULT_BENCH_BYTES,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bench-allreduce failed: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", outcome.render_table());
+    eprintln!(
+        "=== bench-allreduce done in {:.1}s ===",
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = json_path {
+        match std::fs::write(&path, outcome.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `xp proc-train [--ranks N]` — the 4-process K-FAC CIFAR demo: spawn N
+/// worker processes over the TCP fabric and print rank 0's trajectory
+/// summary (bitwise comparable to the in-process ThreadComm run; the
+/// `proc_train` integration test pins the equality).
+fn run_proc_train(args: &[String]) {
+    let mut ranks = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ranks" => {
+                i += 1;
+                ranks = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r >= 1)
+                    .unwrap_or_else(|| flag_error("--ranks needs a positive integer"));
+            }
+            other => flag_error(&format!(
+                "unknown flag {other} (proc-train takes [--ranks N])"
+            )),
+        }
+        i += 1;
+    }
+    match kfac_harness::procrun::run_proc_train(ranks) {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => {
+            eprintln!("proc-train failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Uniform flag-error path: say what was wrong, show usage, exit 2.
 fn flag_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -303,9 +421,9 @@ fn flag_error(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: xp <experiment|all|list|bench-kernels|prom-lint FILE> \
+        "usage: xp <experiment|all|list|bench-kernels|bench-allreduce|proc-train|prom-lint FILE> \
          [--scale smoke|quick|full] [--out DIR] [--trace-out FILE] [--overlap [WORKERS]] \
-         [--serve-metrics [PORT]] [--json [FILE]]\n\
+         [--serve-metrics [PORT]] [--json [FILE]] [--ranks N] [--iters K]\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -16,6 +16,9 @@
 //! * [`experiments`] — one driver per table and figure of §VI.
 //! * [`benchkernels`] — packed-vs-legacy GEMM/Gram kernel benchmark
 //!   behind `xp bench-kernels`.
+//! * [`procrun`] — multi-process orchestration: `xp` re-executed as one
+//!   OS process per rank over the TCP collective fabric
+//!   (`xp proc-train`, `xp bench-allreduce`).
 //! * [`report`] — markdown rendering of results.
 //!
 //! Regenerate any experiment with the `xp` binary:
@@ -30,6 +33,7 @@ pub mod checkpoint;
 pub mod experiments;
 pub mod overlap;
 pub mod presets;
+pub mod procrun;
 pub mod report;
 pub mod resilient;
 pub mod trainer;
@@ -37,4 +41,4 @@ pub mod trainer;
 pub use overlap::ExecStrategy;
 pub use presets::{CifarSetup, ImagenetSetup, Scale};
 pub use resilient::{FaultTolerance, ResilientTrainer, StepOutcome};
-pub use trainer::{train, TrainConfig, TrainResult};
+pub use trainer::{train, train_with_comm, TrainConfig, TrainResult};

@@ -1,0 +1,548 @@
+//! Multi-process run orchestration.
+//!
+//! The `xp` binary is both the launcher and the worker: `spawn_world`
+//! re-executes the current binary once per rank with the
+//! `KFAC_PROC_*` rendezvous env set plus a `KFAC_PROC_JOB` selector, and
+//! `worker_main` (invoked by `xp`'s `main` whenever `KFAC_PROC_RANK` is
+//! present) joins the TCP mesh and dispatches the job. Two jobs exist:
+//!
+//! * `bench-allreduce` — the allreduce microbenchmark behind
+//!   `xp bench-allreduce`: every rank drives the same op sequence, rank 0
+//!   reports median seconds per message size on stdout. The launcher runs
+//!   one world per algorithm, fits `T(n) = A + B·n` to each, converts the
+//!   pipelined-ring fit into α/β link constants for the `kfac-cluster`
+//!   simulator, and locates the halving/doubling↔ring crossover
+//!   (`BENCH_allreduce.json`).
+//! * `train-cifar` — the canonical 4-process K-FAC CIFAR demo behind
+//!   `xp proc-train`: each worker trains the shared [`cifar_demo_config`]
+//!   over its `ProcComm`, and rank 0 emits the loss trajectory (exact
+//!   round-trip `f64` repr) plus a parameter bit-hash. The
+//!   `proc_train` integration test compares this byte-for-byte against
+//!   the in-process `ThreadComm` run — the end-to-end witness that both
+//!   fabrics compute the same training trajectory.
+
+use crate::trainer::{train_with_comm, TrainConfig, TrainResult};
+use kfac::KfacConfig;
+use kfac_collectives::proc::{ProcComm, ProcConfig};
+use kfac_collectives::{CommBackend, Communicator, ReduceOp, TrafficClass};
+use kfac_data::{synthetic_cifar, SyntheticImages};
+use kfac_nn::{resnet::resnet_cifar, Sequential};
+use kfac_optim::LrSchedule;
+use kfac_tensor::Rng64;
+use std::io;
+use std::process::{Command, Output, Stdio};
+use std::time::Instant;
+
+/// Env var selecting the worker job in spawned ranks.
+pub const JOB_ENV: &str = "KFAC_PROC_JOB";
+/// Comma-separated message sizes in bytes for `bench-allreduce` workers.
+const BENCH_SIZES_ENV: &str = "KFAC_BENCH_BYTES";
+/// Iterations per message size for `bench-allreduce` workers.
+const BENCH_ITERS_ENV: &str = "KFAC_BENCH_ITERS";
+
+/// Default benchmark message sizes: 1 KiB – 8 MiB, spanning both sides
+/// of the latency/bandwidth crossover.
+pub const DEFAULT_BENCH_BYTES: &[usize] = &[
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    8 << 20,
+];
+/// Default timed iterations per (size, algorithm) point.
+pub const DEFAULT_BENCH_ITERS: usize = 5;
+/// The algorithms the benchmark compares (the auto-policy candidates).
+pub const BENCH_ALGOS: &[&str] = &["halving-doubling", "pipelined-ring"];
+
+/// Spawn `world` copies of the current executable as proc ranks running
+/// `job`, wait for all of them, and return their outputs (stdout
+/// captured, stderr inherited) in rank order.
+pub fn spawn_world(
+    world: usize,
+    job: &str,
+    extra_env: &[(String, String)],
+) -> io::Result<Vec<Output>> {
+    // Pick a free broker port by bind-drop; rank 0 rebinds it. The small
+    // race window is acceptable for localhost orchestration — a clash
+    // fails the rendezvous loudly within its deadline.
+    let root = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0")?;
+        l.local_addr()?.to_string()
+    };
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::with_capacity(world);
+    for rank in 0..world {
+        let mut cmd = Command::new(&exe);
+        for (k, v) in ProcConfig::env_for_rank(rank, world, &root) {
+            cmd.env(k, v);
+        }
+        cmd.env(JOB_ENV, job);
+        for (k, v) in extra_env {
+            cmd.env(k, v);
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+        children.push(cmd.spawn()?);
+    }
+    children.into_iter().map(|c| c.wait_with_output()).collect()
+}
+
+/// Worker-side entry: join the mesh described by `KFAC_PROC_*` and run
+/// the job named by [`JOB_ENV`]. Returns the process exit code.
+pub fn worker_main() -> i32 {
+    let comm = match ProcComm::from_env() {
+        Ok(Some(c)) => c,
+        Ok(None) => {
+            eprintln!("worker_main called without KFAC_PROC_RANK set");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let job = std::env::var(JOB_ENV).unwrap_or_default();
+    match job.as_str() {
+        "bench-allreduce" => bench_worker(&comm),
+        "train-cifar" => train_worker(&comm),
+        other => {
+            eprintln!("unknown {JOB_ENV}={other:?} (expected bench-allreduce|train-cifar)");
+            2
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// bench-allreduce
+// ---------------------------------------------------------------------
+
+/// One measured point: `algo` at `bytes` took a median `seconds` per op.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    pub bytes: usize,
+    pub algo: String,
+    pub seconds: f64,
+}
+
+/// An affine fit `T(n) = a_s + b_s_per_byte · n` for one algorithm.
+#[derive(Debug, Clone)]
+pub struct BenchFit {
+    pub algo: String,
+    pub a_s: f64,
+    pub b_s_per_byte: f64,
+}
+
+/// Time allreduces of each size on `comm`; all ranks drive the identical
+/// op sequence (the MPI ordering contract), every rank returns its own
+/// medians but only rank 0's are reported.
+pub fn measure_allreduce(
+    comm: &dyn Communicator,
+    sizes_bytes: &[usize],
+    iters: usize,
+) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(sizes_bytes.len());
+    for &bytes in sizes_bytes {
+        let elems = (bytes / std::mem::size_of::<f32>()).max(1);
+        let mut buf = vec![1.0f32; elems];
+        // Warm the path (mailboxes, socket buffers) outside the timing.
+        for _ in 0..2 {
+            comm.allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Other);
+            buf.iter_mut().for_each(|v| *v = 1.0);
+        }
+        let mut samples = Vec::with_capacity(iters.max(1));
+        for _ in 0..iters.max(1) {
+            // Barrier-align so the timer starts when the group is ready,
+            // not when the slowest rank drains the previous op.
+            comm.barrier();
+            let t = Instant::now();
+            comm.allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Other);
+            samples.push(t.elapsed().as_secs_f64());
+            buf.iter_mut().for_each(|v| *v = 1.0);
+        }
+        samples.sort_by(f64::total_cmp);
+        out.push((bytes, samples[samples.len() / 2]));
+    }
+    out
+}
+
+/// Worker half of `xp bench-allreduce`: sizes/iters from env, medians on
+/// rank 0's stdout as `bytes seconds` lines.
+fn bench_worker(comm: &ProcComm) -> i32 {
+    let sizes: Vec<usize> = match std::env::var(BENCH_SIZES_ENV) {
+        Ok(s) => match s.split(',').map(|p| p.trim().parse()).collect() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("{BENCH_SIZES_ENV}={s:?} invalid; expected comma-separated byte counts");
+                return 2;
+            }
+        },
+        Err(_) => DEFAULT_BENCH_BYTES.to_vec(),
+    };
+    let iters = std::env::var(BENCH_ITERS_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_BENCH_ITERS);
+    let points = measure_allreduce(comm, &sizes, iters);
+    if comm.rank() == 0 {
+        for (bytes, seconds) in points {
+            println!("{bytes} {seconds:e}");
+        }
+    }
+    0
+}
+
+/// Ordinary least squares for `y = a + b·x`.
+pub fn fit_affine(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return (points.first().map(|p| p.1).unwrap_or(0.0), 0.0);
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return (sy / n, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Crossover message size below which halving/doubling beats the
+/// pipelined ring, from the two fitted lines (`None` when the fits never
+/// cross in the positive quadrant — one algorithm dominates).
+pub fn fitted_crossover_bytes(hd: &BenchFit, ring: &BenchFit) -> Option<usize> {
+    let db = hd.b_s_per_byte - ring.b_s_per_byte;
+    if db <= 0.0 {
+        return None; // hd never loses on bandwidth → no crossover
+    }
+    let n = (ring.a_s - hd.a_s) / db;
+    (n > 0.0).then_some(n as usize)
+}
+
+/// Outcome of a full `xp bench-allreduce` sweep.
+pub struct BenchOutcome {
+    pub ranks: usize,
+    pub iters: usize,
+    pub points: Vec<BenchPoint>,
+    pub fits: Vec<BenchFit>,
+    /// Link constants for `kfac_collectives::LinkSpec`, from the
+    /// pipelined-ring fit via the chain model `T = 2(p−1)α + 2nβ`.
+    pub alpha_s: f64,
+    pub beta_s_per_byte: f64,
+    pub crossover_bytes: usize,
+}
+
+/// Launcher half of `xp bench-allreduce`: one world per algorithm (the
+/// algorithm is forced through the same `KFAC_COMM_ALGO` knob users
+/// have), parse rank 0's medians, fit, and derive the policy constants.
+pub fn run_bench_allreduce(
+    ranks: usize,
+    iters: usize,
+    sizes: &[usize],
+) -> io::Result<BenchOutcome> {
+    let csv = sizes
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut points = Vec::new();
+    let mut fits = Vec::new();
+    for &algo in BENCH_ALGOS {
+        eprintln!("bench-allreduce: {algo} across {ranks} processes ({iters} iters/size)");
+        let outputs = spawn_world(
+            ranks,
+            "bench-allreduce",
+            &[
+                ("KFAC_COMM_ALGO".to_string(), algo.to_string()),
+                (BENCH_SIZES_ENV.to_string(), csv.clone()),
+                (BENCH_ITERS_ENV.to_string(), iters.to_string()),
+            ],
+        )?;
+        for (rank, out) in outputs.iter().enumerate() {
+            if !out.status.success() {
+                return Err(io::Error::other(format!(
+                    "bench worker rank {rank} ({algo}) exited with {}",
+                    out.status
+                )));
+            }
+        }
+        let stdout = String::from_utf8_lossy(&outputs[0].stdout).into_owned();
+        let mut algo_points = Vec::new();
+        for line in stdout.lines().filter(|l| !l.trim().is_empty()) {
+            let mut it = line.split_whitespace();
+            let (Some(b), Some(s)) = (it.next(), it.next()) else {
+                return Err(io::Error::other(format!("malformed bench line {line:?}")));
+            };
+            let bytes: usize = b
+                .parse()
+                .map_err(|_| io::Error::other(format!("malformed bench line {line:?}")))?;
+            let seconds: f64 = s
+                .parse()
+                .map_err(|_| io::Error::other(format!("malformed bench line {line:?}")))?;
+            algo_points.push((bytes as f64, seconds));
+            points.push(BenchPoint {
+                bytes,
+                algo: algo.to_string(),
+                seconds,
+            });
+        }
+        let (a_s, b_s_per_byte) = fit_affine(&algo_points);
+        fits.push(BenchFit {
+            algo: algo.to_string(),
+            a_s,
+            b_s_per_byte,
+        });
+    }
+    let hd = fits.iter().find(|f| f.algo == "halving-doubling").unwrap();
+    let ring = fits.iter().find(|f| f.algo == "pipelined-ring").unwrap();
+    // Chain-pipelined ring moves 2n bytes per rank through 2(p−1) hops of
+    // pipeline fill: T ≈ 2(p−1)α + 2nβ, so the affine fit maps back as
+    // α = A/(2(p−1)), β = B/2.
+    let hops = 2.0 * (ranks.saturating_sub(1)).max(1) as f64;
+    let alpha_s = (ring.a_s / hops).max(0.0);
+    let beta_s_per_byte = (ring.b_s_per_byte / 2.0).max(0.0);
+    let crossover_bytes = fitted_crossover_bytes(hd, ring)
+        .unwrap_or(kfac_collectives::AlgoPolicy::default().hd_max_bytes);
+    Ok(BenchOutcome {
+        ranks,
+        iters,
+        points,
+        fits,
+        alpha_s,
+        beta_s_per_byte,
+        crossover_bytes,
+    })
+}
+
+impl BenchOutcome {
+    /// Render as the committed `BENCH_allreduce.json` document (the
+    /// schema `kfac_cluster::calibrate` parses).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"backend\": \"proc\",\n");
+        s.push_str(&format!("  \"ranks\": {},\n", self.ranks));
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"results\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"bytes\": {}, \"algo\": \"{}\", \"seconds\": {:e}}}{}\n",
+                p.bytes,
+                p.algo,
+                p.seconds,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"fits\": [\n");
+        for (i, f) in self.fits.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"algo\": \"{}\", \"a_s\": {:e}, \"b_s_per_byte\": {:e}}}{}\n",
+                f.algo,
+                f.a_s,
+                f.b_s_per_byte,
+                if i + 1 < self.fits.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"fitted\": {{\"alpha_s\": {:e}, \"beta_s_per_byte\": {:e}}},\n",
+            self.alpha_s, self.beta_s_per_byte
+        ));
+        s.push_str(&format!(
+            "  \"crossover_bytes\": {}\n",
+            self.crossover_bytes
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut s = String::from("| bytes | algo | seconds |\n|---:|---|---:|\n");
+        for p in &self.points {
+            s.push_str(&format!(
+                "| {} | {} | {:.3e} |\n",
+                p.bytes, p.algo, p.seconds
+            ));
+        }
+        s.push_str(&format!(
+            "\nfitted link: alpha = {:.3e} s, beta = {:.3e} s/byte; \
+             hd→ring crossover ≈ {} bytes\n",
+            self.alpha_s, self.beta_s_per_byte, self.crossover_bytes
+        ));
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// train-cifar
+// ---------------------------------------------------------------------
+
+/// The canonical demo model: 3-stage depth-1 CIFAR ResNet.
+pub fn cifar_demo_model(seed: u64) -> Sequential {
+    let mut rng = Rng64::new(seed);
+    resnet_cifar(1, 4, 10, 3, &mut rng)
+}
+
+/// The canonical demo datasets (deterministic synthetic CIFAR).
+pub fn cifar_demo_data() -> (SyntheticImages, SyntheticImages) {
+    synthetic_cifar(8, 96, 32, 11)
+}
+
+/// The canonical demo config: 2 epochs of K-FAC training at local batch
+/// 8. Shared verbatim by the proc worker, `xp proc-train` and the
+/// `proc_train` bitwise integration test, so every party trains the
+/// exact same run.
+pub fn cifar_demo_config(ranks: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::new(ranks, 8, 2, LrSchedule::paper_steps(0.05, vec![4]));
+    cfg.lr.warmup_epochs = 1.0;
+    cfg.kfac = Some(KfacConfig {
+        update_freq: 2,
+        ..KfacConfig::default()
+    });
+    // The reference run is pinned to the thread fabric regardless of the
+    // ambient KFAC_COMM_BACKEND; proc workers bring their own comm.
+    cfg.backend = CommBackend::Thread;
+    cfg
+}
+
+/// FNV-style bit-hash of a parameter vector: equal iff every f32 is
+/// bit-equal, and cheap enough to print in a summary line.
+pub fn params_bit_hash(params: &[f32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in params {
+        h ^= v.to_bits() as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The summary rank 0 prints: per-epoch losses in exact round-trip `f64`
+/// repr plus the final-parameter bit-hash.
+pub fn train_summary_json(ranks: usize, backend: &str, result: &TrainResult) -> String {
+    let losses = result
+        .epochs
+        .iter()
+        .map(|e| format!("{:?}", e.train_loss))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"ranks\": {}, \"backend\": \"{}\", \"train_loss\": [{}], \
+         \"final_val_acc\": {:?}, \"params_hash\": \"{:016x}\"}}",
+        ranks,
+        backend,
+        losses,
+        result.final_val_acc,
+        params_bit_hash(&result.final_params)
+    )
+}
+
+/// Worker half of `xp proc-train`: train the shared demo over the
+/// process mesh; rank 0 prints the trajectory summary.
+fn train_worker(comm: &ProcComm) -> i32 {
+    let cfg = cifar_demo_config(comm.size());
+    let (train_ds, val_ds) = cifar_demo_data();
+    if let Some(result) = train_with_comm(comm, &cifar_demo_model, &train_ds, &val_ds, &cfg) {
+        println!("{}", train_summary_json(comm.size(), "proc", &result));
+    }
+    0
+}
+
+/// Launcher half of `xp proc-train`: spawn the world, relay rank 0's
+/// summary line to our stdout, propagate failures.
+pub fn run_proc_train(ranks: usize) -> io::Result<String> {
+    let outputs = spawn_world(ranks, "train-cifar", &[])?;
+    for (rank, out) in outputs.iter().enumerate() {
+        if !out.status.success() {
+            return Err(io::Error::other(format!(
+                "proc-train worker rank {rank} exited with {}",
+                out.status
+            )));
+        }
+    }
+    let summary = String::from_utf8_lossy(&outputs[0].stdout)
+        .trim()
+        .to_string();
+    if summary.is_empty() {
+        return Err(io::Error::other("proc-train rank 0 produced no summary"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| (i as f64 * 1000.0, 3e-5 + 2e-9 * i as f64 * 1000.0))
+            .collect();
+        let (a, b) = fit_affine(&pts);
+        assert!((a - 3e-5).abs() < 1e-12, "a = {a}");
+        assert!((b - 2e-9).abs() < 1e-15, "b = {b}");
+    }
+
+    #[test]
+    fn crossover_from_fits() {
+        // hd: 1e-5 + 4e-9 n; ring: 5e-5 + 1e-9 n → cross at n where
+        // 1e-5 + 4e-9 n = 5e-5 + 1e-9 n → n = 4e-5/3e-9 ≈ 13333.
+        let hd = BenchFit {
+            algo: "halving-doubling".into(),
+            a_s: 1e-5,
+            b_s_per_byte: 4e-9,
+        };
+        let ring = BenchFit {
+            algo: "pipelined-ring".into(),
+            a_s: 5e-5,
+            b_s_per_byte: 1e-9,
+        };
+        let n = fitted_crossover_bytes(&hd, &ring).unwrap();
+        assert!((13000..14000).contains(&n), "n = {n}");
+        // Ring dominating everywhere → no crossover.
+        assert_eq!(fitted_crossover_bytes(&ring, &hd), None);
+    }
+
+    #[test]
+    fn params_hash_detects_single_bit_flips() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let mut b = a.clone();
+        b[1] = f32::from_bits(b[1].to_bits() ^ 1);
+        assert_ne!(params_bit_hash(&a), params_bit_hash(&b));
+        assert_eq!(params_bit_hash(&a), params_bit_hash(&a.clone()));
+    }
+
+    #[test]
+    fn bench_json_is_parseable() {
+        let outcome = BenchOutcome {
+            ranks: 4,
+            iters: 5,
+            points: vec![BenchPoint {
+                bytes: 1024,
+                algo: "pipelined-ring".into(),
+                seconds: 1.5e-5,
+            }],
+            fits: vec![BenchFit {
+                algo: "pipelined-ring".into(),
+                a_s: 1e-5,
+                b_s_per_byte: 2e-9,
+            }],
+            alpha_s: 1.6e-6,
+            beta_s_per_byte: 1e-9,
+            crossover_bytes: 65536,
+        };
+        let json = outcome.to_json();
+        let doc = kfac_telemetry::json::Json::parse(&json).expect("valid json");
+        assert_eq!(doc.get("ranks").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(
+            doc.get("crossover_bytes").and_then(|v| v.as_f64()),
+            Some(65536.0)
+        );
+    }
+}

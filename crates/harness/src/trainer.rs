@@ -10,7 +10,10 @@
 
 use crate::overlap::{overlap_iteration, ExecStrategy};
 use kfac::{DistStrategy, Kfac, KfacConfig, StageStats};
-use kfac_collectives::{Communicator, LocalComm, ReduceOp, ThreadComm, Traffic, TrafficClass};
+use kfac_collectives::{
+    CommBackend, Communicator, FusionBuffer, LocalComm, ProcComm, ReduceOp, ThreadComm, Traffic,
+    TrafficClass,
+};
 use kfac_data::{batch_of, Dataset, ShardedSampler};
 use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
 use kfac_optim::{LrSchedule, Optimizer, Sgd};
@@ -46,6 +49,17 @@ pub struct TrainConfig {
     /// How each rank executes its iteration: sequential phases (the
     /// reference oracle), the overlapped task graph, or seeded replay.
     pub exec: ExecStrategy,
+    /// Which communicator fabric carries the collectives: in-process
+    /// threads or the multi-process TCP backend. Resolved from
+    /// `KFAC_COMM_BACKEND` by [`TrainConfig::new`]; override with
+    /// [`TrainConfig::with_backend`]. Either way the loss trajectory is
+    /// bitwise identical — the algorithm layer pins one reduction order.
+    pub backend: CommBackend,
+    /// Gradient fusion-buffer flush threshold in bytes; `None` defers to
+    /// the `KFAC_FUSION_MB` env override and then Horovod's 16 MiB
+    /// default. Clamped by the collectives crate so an oversized tensor
+    /// still flushes in one message.
+    pub fusion_threshold_bytes: Option<usize>,
 }
 
 impl TrainConfig {
@@ -63,6 +77,8 @@ impl TrainConfig {
             seed: 42,
             telemetry: None,
             exec: crate::overlap::default_exec(),
+            backend: CommBackend::from_env().unwrap_or_else(|e| panic!("{e}")),
+            fusion_threshold_bytes: None,
         }
     }
 
@@ -75,6 +91,13 @@ impl TrainConfig {
     /// Select the execution strategy (e.g. `--overlap`).
     pub fn with_exec(mut self, exec: ExecStrategy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Select the communicator backend (e.g. `--backend proc`),
+    /// overriding the `KFAC_COMM_BACKEND` resolution done by `new`.
+    pub fn with_backend(mut self, backend: CommBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -125,20 +148,41 @@ impl TrainResult {
     }
 }
 
-/// Average the model's gradients across ranks in one fused allreduce —
-/// the `optimizer.synchronize()` step of Listing 1.
-pub fn allreduce_gradients(model: &mut dyn Layer, comm: &dyn Communicator) {
+/// Average the model's gradients across ranks through a fusion buffer —
+/// the `optimizer.synchronize()` step of Listing 1. With the default
+/// 16 MiB threshold every CPU-scale model here still goes out as one
+/// fused message; a smaller configured threshold splits the exchange into
+/// several bandwidth-sized collectives. The split never changes the
+/// result bits: reduction is element-wise in pinned rank order, so the
+/// message partitioning is invisible to the math.
+pub fn allreduce_gradients_fused(
+    model: &mut dyn Layer,
+    comm: &dyn Communicator,
+    threshold_bytes: Option<usize>,
+) {
     if comm.size() == 1 {
         return;
     }
-    let mut flat = Vec::new();
-    model.visit_params("", &mut |_, _, g| flat.extend_from_slice(g));
-    comm.allreduce_tagged(&mut flat, ReduceOp::Average, TrafficClass::Gradient);
-    let mut off = 0;
+    let mut fb =
+        FusionBuffer::with_configured(threshold_bytes, ReduceOp::Average, TrafficClass::Gradient);
+    let mut next_id = 0usize;
     model.visit_params("", &mut |_, _, g| {
-        g.copy_from_slice(&flat[off..off + g.len()]);
-        off += g.len();
+        fb.push(next_id, g.to_vec(), comm);
+        next_id += 1;
     });
+    fb.flush(comm);
+    let mut done = fb.take_completed();
+    done.sort_unstable_by_key(|(id, _)| *id);
+    let mut reduced = done.into_iter();
+    model.visit_params("", &mut |_, _, g| {
+        let (_, data) = reduced.next().expect("one reduced tensor per parameter");
+        g.copy_from_slice(&data);
+    });
+}
+
+/// [`allreduce_gradients_fused`] at the default/env-resolved threshold.
+pub fn allreduce_gradients(model: &mut dyn Layer, comm: &dyn Communicator) {
+    allreduce_gradients_fused(model, comm, None);
 }
 
 /// True when every gradient entry is finite — the health gate that
@@ -284,7 +328,7 @@ fn run_rank(
 
             {
                 let _span = Span::enter("train/grad_allreduce");
-                allreduce_gradients(&mut model, comm);
+                allreduce_gradients_fused(&mut model, comm, cfg.fusion_threshold_bytes);
             }
             // Health gate: a non-finite loss or gradient (overflow,
             // data corruption) skips the K-FAC and optimizer updates
@@ -339,6 +383,36 @@ fn run_rank(
     })
 }
 
+/// Run one rank of the training loop over a caller-provided
+/// communicator — the entry point for worker *processes* (`xp` in
+/// `KFAC_PROC_RANK` mode) and for tests that drive exotic fabrics
+/// ([`kfac_collectives::HierComm`], fault-wrapped comms). Returns
+/// `Some(TrainResult)` on global rank 0, `None` elsewhere. The caller
+/// must ensure every rank of `comm`'s group runs this with an identical
+/// `cfg`, datasets and `build_model`.
+pub fn train_with_comm(
+    comm: &dyn Communicator,
+    build_model: &(dyn Fn(u64) -> Sequential + Sync),
+    train_ds: &dyn Dataset,
+    val_ds: &dyn Dataset,
+    cfg: &TrainConfig,
+) -> Option<TrainResult> {
+    let registry = cfg
+        .telemetry
+        .clone()
+        .or_else(|| kfac_telemetry::current().map(|(r, _)| r))
+        .unwrap_or_default();
+    run_rank(
+        comm.rank(),
+        comm,
+        build_model,
+        train_ds,
+        val_ds,
+        cfg,
+        &registry,
+    )
+}
+
 /// Train a model across `cfg.ranks` simulated workers.
 ///
 /// `build_model(seed)` must be deterministic: every rank calls it with
@@ -373,15 +447,52 @@ pub fn train(
         return run_rank(0, &comm, &build_model, train_ds, val_ds, cfg, &registry)
             .expect("rank 0 returns");
     }
-    let comms = ThreadComm::create(cfg.ranks);
-    let build_model = &build_model;
-    let registry = &registry;
+    match cfg.backend {
+        CommBackend::Thread => {
+            let comms = ThreadComm::create(cfg.ranks);
+            drive_group(&comms, &build_model, train_ds, val_ds, cfg, &registry)
+        }
+        // Same rank threads, but every collective crosses a real TCP
+        // socket through the proc wire path (the in-process harness for
+        // the multi-process fabric; true process workers enter through
+        // `train_with_comm`).
+        CommBackend::Proc => {
+            let comms = ProcComm::create_local_with(
+                cfg.ranks,
+                kfac_collectives::AlgoPolicy::from_env(),
+                kfac_collectives::ProcConfig::DEFAULT_TIMEOUT,
+            )
+            .unwrap_or_else(|e| panic!("proc backend rendezvous failed: {e}"));
+            drive_group(&comms, &build_model, train_ds, val_ds, cfg, &registry)
+        }
+    }
+}
+
+/// Spawn one thread per rank over an already-created communicator group
+/// and collect rank 0's result.
+fn drive_group<C: Communicator + Sync>(
+    comms: &[C],
+    build_model: &(dyn Fn(u64) -> Sequential + Sync),
+    train_ds: &dyn Dataset,
+    val_ds: &dyn Dataset,
+    cfg: &TrainConfig,
+    registry: &Registry,
+) -> TrainResult {
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .iter()
-            .enumerate()
-            .map(|(rank, comm)| {
-                s.spawn(move || run_rank(rank, comm, build_model, train_ds, val_ds, cfg, registry))
+            .map(|comm| {
+                s.spawn(move || {
+                    run_rank(
+                        comm.rank(),
+                        comm,
+                        build_model,
+                        train_ds,
+                        val_ds,
+                        cfg,
+                        registry,
+                    )
+                })
             })
             .collect();
         let mut result = None;
