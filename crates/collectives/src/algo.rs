@@ -116,8 +116,11 @@ impl Default for AlgoPolicy {
             // flight for megabyte gradients.
             chunk_elems: 16 * 1024,
             // Measured pipelined-ring vs halving/doubling crossover on the
-            // 4-process localhost TCP backend (BENCH_allreduce.json).
-            hd_max_bytes: 64 * 1024,
+            // 4-process localhost TCP backend: the α/β fits in
+            // BENCH_allreduce.json put it at 94,414 bytes (~94 KiB), so
+            // messages up to 94 KiB take the latency-optimal
+            // halving/doubling path.
+            hd_max_bytes: 94 * 1024,
         }
     }
 }
@@ -657,6 +660,12 @@ mod tests {
     fn policy_auto_selects_by_size() {
         let p = AlgoPolicy::default();
         assert_eq!(p.select(1024, 4), CollectiveAlgo::HalvingDoubling);
+        // The default threshold is the measured ~94 KiB crossover from
+        // BENCH_allreduce.json: 80 KiB is still latency-bound
+        // (halving/doubling), 128 KiB is bandwidth-bound (ring).
+        assert_eq!(p.select(80 * 1024, 4), CollectiveAlgo::HalvingDoubling);
+        assert_eq!(p.select(94 * 1024, 4), CollectiveAlgo::HalvingDoubling);
+        assert_eq!(p.select(128 * 1024, 4), CollectiveAlgo::PipelinedRing);
         assert_eq!(p.select(8 << 20, 4), CollectiveAlgo::PipelinedRing);
         assert_eq!(p.select(8 << 20, 1), CollectiveAlgo::Flat);
         let forced = AlgoPolicy {

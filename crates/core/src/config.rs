@@ -20,9 +20,11 @@ pub enum InversionMethod {
 }
 
 /// Which symmetric-eigendecomposition backend evaluates the factor
-/// spectra (both satisfy the same contract; tridiagonal QL is the faster
-/// LAPACK-style route for larger factors, Jacobi the simpler and
-/// ultra-robust default).
+/// spectra (all satisfy the same wire contract; tridiagonal QL is the
+/// faster LAPACK-style exact route for larger factors, Jacobi the
+/// simpler and ultra-robust default, and the randomized backend trades
+/// a controlled slice of spectral mass for several-fold speedups on
+/// factors with decaying spectra).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EigenSolver {
     /// Cyclic Jacobi sweeps (`kfac_tensor::eigh`).
@@ -30,6 +32,103 @@ pub enum EigenSolver {
     /// Householder tridiagonalization + implicit-shift QL
     /// (`kfac_tensor::eigh_tridiag`).
     TridiagonalQl,
+    /// Randomized truncated decomposition (`kfac_tensor::eigh_randomized`)
+    /// with adaptive rank selection per [`RandEigPolicy`]; falls back to
+    /// the exact QL path on small factors, poor spectral capture, or
+    /// solver failure.
+    Randomized,
+}
+
+impl EigenSolver {
+    /// Stable name used in telemetry tags and env configuration.
+    pub fn name(self) -> &'static str {
+        match self {
+            EigenSolver::Jacobi => "jacobi",
+            EigenSolver::TridiagonalQl => "tridiag",
+            EigenSolver::Randomized => "randomized",
+        }
+    }
+
+    /// Parse the `KFAC_EIG_BACKEND` spelling (aliases accepted).
+    pub fn parse(s: &str) -> Option<EigenSolver> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "jacobi" => Some(EigenSolver::Jacobi),
+            "tridiag" | "ql" | "tridiagonal-ql" | "tridiagonal_ql" => {
+                Some(EigenSolver::TridiagonalQl)
+            }
+            "randomized" | "rand" | "rsvd" => Some(EigenSolver::Randomized),
+            _ => None,
+        }
+    }
+
+    /// The `KFAC_EIG_BACKEND` env override, if set.
+    ///
+    /// # Panics
+    /// Panics with a clear message on an unparseable value — a typo in an
+    /// env knob should fail loudly, not silently select a default (the
+    /// same contract as `KFAC_COMM_ALGO` and friends).
+    pub fn from_env() -> Option<EigenSolver> {
+        std::env::var("KFAC_EIG_BACKEND").ok().map(|s| {
+            EigenSolver::parse(&s).unwrap_or_else(|| {
+                panic!("KFAC_EIG_BACKEND={s:?} invalid; expected jacobi|tridiag|randomized")
+            })
+        })
+    }
+}
+
+/// Adaptive-rank policy for the [`EigenSolver::Randomized`] backend.
+///
+/// The preconditioner starts at a small sketch rank, measures the
+/// captured spectral mass `Σλ_kept / trace`, and doubles the rank until
+/// the capture reaches `mass_threshold`. If the cap
+/// (`max_rank_frac · n`) is hit without reaching the threshold — a slow
+/// spectrum where truncation would genuinely hurt — the factor is solved
+/// exactly instead, so accuracy degrades toward the exact path, never
+/// away from it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandEigPolicy {
+    /// Factors below this dimension always use the exact QL path: at
+    /// small `n` the sketch GEMMs cost more than the exact solve.
+    pub min_dim: usize,
+    /// Starting rank (also floored at `n/16`).
+    pub init_rank: usize,
+    /// Oversampling columns added to every sketch.
+    pub oversample: usize,
+    /// Subspace (power) iterations per sketch.
+    pub power_iters: usize,
+    /// Required captured spectral mass in `(0, 1]`.
+    pub mass_threshold: f64,
+    /// Rank cap as a fraction of `n`; past it the exact solver is both
+    /// faster and better, so the policy falls back.
+    pub max_rank_frac: f64,
+    /// Deterministic sketch seed (identical on every rank and rerun).
+    pub seed: u64,
+}
+
+impl Default for RandEigPolicy {
+    fn default() -> Self {
+        RandEigPolicy {
+            min_dim: 96,
+            init_rank: 16,
+            oversample: 8,
+            power_iters: 2,
+            mass_threshold: 0.99,
+            max_rank_frac: 0.5,
+            seed: 0x7A11_EED5,
+        }
+    }
+}
+
+impl RandEigPolicy {
+    /// Initial sketch rank for an `n×n` factor.
+    pub fn initial_rank(&self, n: usize) -> usize {
+        self.init_rank.max(n / 16).clamp(1, n.max(1))
+    }
+
+    /// Largest rank the adaptive loop will try for an `n×n` factor.
+    pub fn max_rank(&self, n: usize) -> usize {
+        ((n as f64 * self.max_rank_frac) as usize).clamp(1, n.max(1))
+    }
 }
 
 /// How K-FAC work is distributed across ranks.
@@ -82,6 +181,9 @@ pub struct KfacConfig {
     pub inversion: InversionMethod,
     /// Eigendecomposition backend for the eigen path.
     pub eigen_solver: EigenSolver,
+    /// Adaptive-rank policy used when `eigen_solver` is
+    /// [`EigenSolver::Randomized`] (ignored otherwise).
+    pub rand_eig: RandEigPolicy,
     /// Distribution strategy.
     pub strategy: DistStrategy,
     /// Placement policy for factor → rank assignment.
@@ -113,6 +215,7 @@ impl Default for KfacConfig {
             running_avg: 0.95,
             inversion: InversionMethod::Eigen,
             eigen_solver: EigenSolver::Jacobi,
+            rand_eig: RandEigPolicy::default(),
             strategy: DistStrategy::Opt,
             placement: PlacementPolicy::RoundRobin,
             damping_decay_epochs: Vec::new(),
@@ -166,6 +269,14 @@ impl KfacConfig {
         if let Some(k) = self.kl_clip {
             assert!(k > 0.0, "kl_clip must be positive when set");
         }
+        assert!(
+            self.rand_eig.mass_threshold > 0.0 && self.rand_eig.mass_threshold <= 1.0,
+            "rand_eig.mass_threshold must be in (0, 1]"
+        );
+        assert!(
+            self.rand_eig.max_rank_frac > 0.0 && self.rand_eig.max_rank_frac <= 1.0,
+            "rand_eig.max_rank_frac must be in (0, 1]"
+        );
     }
 }
 
@@ -225,5 +336,41 @@ mod tests {
             ..KfacConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn eigen_solver_names_round_trip() {
+        for s in [
+            EigenSolver::Jacobi,
+            EigenSolver::TridiagonalQl,
+            EigenSolver::Randomized,
+        ] {
+            assert_eq!(EigenSolver::parse(s.name()), Some(s));
+        }
+        assert_eq!(EigenSolver::parse("ql"), Some(EigenSolver::TridiagonalQl));
+        assert_eq!(EigenSolver::parse("rsvd"), Some(EigenSolver::Randomized));
+        assert_eq!(EigenSolver::parse("lapack"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rand_eig.mass_threshold")]
+    fn zero_mass_threshold_rejected() {
+        KfacConfig {
+            rand_eig: RandEigPolicy {
+                mass_threshold: 0.0,
+                ..RandEigPolicy::default()
+            },
+            ..KfacConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn rand_eig_rank_schedule_is_clamped() {
+        let p = RandEigPolicy::default();
+        assert_eq!(p.initial_rank(8), 8, "clamped to n");
+        assert_eq!(p.initial_rank(512), 32, "n/16 floor dominates at 512");
+        assert_eq!(p.max_rank(512), 256);
+        assert_eq!(p.max_rank(1), 1);
     }
 }

@@ -65,7 +65,9 @@ pub mod math;
 pub mod preconditioner;
 pub mod stats;
 
-pub use config::{DistStrategy, EigenSolver, InversionMethod, KfacConfig, PlacementPolicy};
+pub use config::{
+    DistStrategy, EigenSolver, InversionMethod, KfacConfig, PlacementPolicy, RandEigPolicy,
+};
 pub use distribution::{assign_factors, factor_descs, FactorDesc, FactorKind};
 pub use preconditioner::Kfac;
 pub use stats::StageStats;

@@ -19,8 +19,10 @@
 //!   accuracy degrades at large batch in Table I (it dampens each factor
 //!   separately, a different and cruder regularization).
 
-use crate::config::EigenSolver;
-use kfac_tensor::{eigh, eigh_tridiag, EigenDecomposition, LinAlgError, Matrix};
+use crate::config::{EigenSolver, RandEigPolicy};
+use kfac_tensor::{
+    eigh, eigh_randomized, eigh_tridiag, EigenDecomposition, LinAlgError, Matrix, RandEigOptions,
+};
 
 /// Eigen-path preconditioning state for one factor pair.
 #[derive(Debug, Clone)]
@@ -59,6 +61,52 @@ pub fn decompose_factor_with(
         // symmetric); fall back to it on the rare QL non-convergence
         // rather than aborting a training run.
         EigenSolver::TridiagonalQl => eigh_tridiag(&m).or_else(|_| eigh(&m)),
+        EigenSolver::Randomized => decompose_symmetrized_randomized(&m, &RandEigPolicy::default()),
+    }
+}
+
+/// Eigendecompose one (symmetrized) factor with the randomized backend
+/// under an explicit adaptive-rank policy (the preconditioner passes
+/// `KfacConfig::rand_eig`).
+pub fn decompose_factor_randomized(
+    factor: &Matrix,
+    policy: &RandEigPolicy,
+) -> Result<EigenDecomposition, LinAlgError> {
+    let mut m = factor.clone();
+    m.symmetrize();
+    decompose_symmetrized_randomized(&m, policy)
+}
+
+/// Adaptive-rank randomized decomposition of an already-symmetrized
+/// factor: start at `policy.initial_rank(n)`, double until the captured
+/// spectral mass reaches `policy.mass_threshold`, and fall back to the
+/// exact QL path (Jacobi backstop) on small factors, rank-cap
+/// exhaustion, or sketch failure — so the *worst* case of this backend
+/// is exactly the exact backend, never something less accurate.
+fn decompose_symmetrized_randomized(
+    m: &Matrix,
+    policy: &RandEigPolicy,
+) -> Result<EigenDecomposition, LinAlgError> {
+    let n = m.rows();
+    if n < policy.min_dim {
+        return eigh_tridiag(m).or_else(|_| eigh(m));
+    }
+    let max_rank = policy.max_rank(n);
+    let mut rank = policy.initial_rank(n).min(max_rank);
+    loop {
+        let opts = RandEigOptions {
+            rank,
+            oversample: policy.oversample,
+            power_iters: policy.power_iters,
+            seed: policy.seed,
+        };
+        match eigh_randomized(m, &opts) {
+            Ok(re) if re.captured_mass >= policy.mass_threshold => return Ok(re.eig),
+            Ok(_) if rank < max_rank => rank = (rank * 2).min(max_rank),
+            // Capture stalled at the rank cap (slow spectrum) or the
+            // small dense solve failed: exact fallback.
+            _ => return eigh_tridiag(m).or_else(|_| eigh(m)),
+        }
     }
 }
 
@@ -179,6 +227,15 @@ fn invert_f32(a: &Matrix) -> Result<Matrix, LinAlgError> {
 }
 
 /// Eigen-path preconditioned gradient (Eq. 13–15).
+///
+/// Handles both exact and randomized-truncated decompositions. A
+/// truncated factor stores an incomplete eigenbasis (zero-padded
+/// leading columns, see [`EigenDecomposition::truncated_rank`]); the
+/// discarded modes all carry eigenvalue ≈ 0, so every Kronecker-mode
+/// pair touching the complement shares the damped denominator γ and the
+/// complement contribution collapses to `(∇L − Q_G V₁ Q_Aᵀ)/γ`. The
+/// exact path is untouched so full decompositions precondition
+/// bit-for-bit as before.
 pub fn precondition_eigen(pair: &EigenPair, grad: &Matrix, damping: f32) -> Matrix {
     let (dg, da) = grad.shape();
     assert_eq!(pair.g.eigenvectors.rows(), dg, "G dimension mismatch");
@@ -190,6 +247,24 @@ pub fn precondition_eigen(pair: &EigenPair, grad: &Matrix, damping: f32) -> Matr
         .eigenvectors
         .matmul_tn(grad)
         .matmul(&pair.a.eigenvectors);
+
+    let truncated = pair.g.truncated_rank().is_some() || pair.a.truncated_rank().is_some();
+    let complement = if truncated {
+        // Residual of ∇L outside span(Q_G) ⊗ span(Q_A): padded columns
+        // are exactly zero, so Q V₁ Qᵀ only reconstructs the kept modes.
+        let mut proj = pair
+            .g
+            .eigenvectors
+            .matmul(&v1)
+            .matmul_nt(&pair.a.eigenvectors);
+        let inv_gamma = 1.0 / damping;
+        for (p, g) in proj.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *p = (g - *p) * inv_gamma;
+        }
+        Some(proj)
+    } else {
+        None
+    };
 
     // V₂ = V₁ ⊘ (v_G v_Aᵀ + γ). Clamp eigenvalues at zero: factors are
     // PSD in exact arithmetic; tiny negative round-off must not flip the
@@ -204,11 +279,18 @@ pub fn precondition_eigen(pair: &EigenPair, grad: &Matrix, damping: f32) -> Matr
         }
     }
 
-    // precond = Q_G V₂ Q_Aᵀ
-    pair.g
+    // precond = Q_G V₂ Q_Aᵀ (+ complement/γ when truncated)
+    let mut out = pair
+        .g
         .eigenvectors
         .matmul(&v2)
-        .matmul_nt(&pair.a.eigenvectors)
+        .matmul_nt(&pair.a.eigenvectors);
+    if let Some(c) = complement {
+        for (o, r) in out.as_mut_slice().iter_mut().zip(c.as_slice()) {
+            *o += *r;
+        }
+    }
+    out
 }
 
 /// Explicit-inverse-path preconditioned gradient (Eq. 12).
@@ -396,6 +478,121 @@ mod tests {
         // Zero grads → ν = 1 (no NaN).
         let z = Matrix::zeros(2, 2);
         assert_eq!(kl_clip_nu([(&z, &z)].into_iter(), 1e-3, 0.1), 1.0);
+    }
+
+    /// SPD factor with geometrically decaying spectrum: Gram of a
+    /// column-scaled Gaussian plus a small diagonal ridge.
+    fn decaying_spd(n: usize, decay: f64, seed: u64) -> Matrix {
+        let mut rng = Rng64::new(seed);
+        let mut x = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.normal_f32()).collect());
+        for i in 0..n {
+            let s = decay.powi(i as i32) as f32;
+            for v in x.row_mut(i) {
+                *v *= s;
+            }
+        }
+        let mut a = x.gram();
+        a.add_diag(1e-5);
+        a
+    }
+
+    #[test]
+    fn truncated_pair_matches_dense_reference_when_tail_is_zero() {
+        // Rank-deficient G: the dropped modes carry eigenvalue ≈ 0, so a
+        // hand-truncated decomposition must reproduce the dense inverse.
+        let mut rng = Rng64::new(7);
+        let a = random_spd(3, &mut rng);
+        let x = random_matrix(2, 4, &mut rng); // rank ≤ 2
+        let g = x.matmul_tn(&x); // 4×4, rank 2
+        let grad = random_matrix(4, 3, &mut rng);
+        let gamma = 0.05;
+
+        let mut ge = decompose_factor(&g).unwrap();
+        // Zero the two near-null leading modes (ascending order) to forge
+        // the randomized backend's zero-padded layout.
+        for j in 0..2 {
+            ge.eigenvalues[j] = 0.0;
+            for i in 0..4 {
+                ge.eigenvectors[(i, j)] = 0.0;
+            }
+        }
+        assert_eq!(ge.truncated_rank(), Some(2));
+
+        let pair = EigenPair {
+            a: decompose_factor(&a).unwrap(),
+            g: ge,
+        };
+        let fast = precondition_eigen(&pair, &grad, gamma);
+        let dense = dense_reference(&a, &g, &grad, gamma);
+        assert!(
+            fast.max_abs_diff(&dense) < 1e-3,
+            "diff {}",
+            fast.max_abs_diff(&dense)
+        );
+    }
+
+    #[test]
+    fn randomized_backend_preconditions_close_to_exact_at_high_mass() {
+        let g = decaying_spd(96, 0.82, 11);
+        let a = {
+            let mut rng = Rng64::new(12);
+            random_spd(5, &mut rng)
+        };
+        let mut rng = Rng64::new(13);
+        let grad = random_matrix(96, 5, &mut rng);
+        let gamma = 0.03;
+
+        let policy = crate::config::RandEigPolicy {
+            min_dim: 1,
+            mass_threshold: 0.999,
+            ..Default::default()
+        };
+        let ge = decompose_factor_randomized(&g, &policy).unwrap();
+        let rank = ge.truncated_rank().expect("decay spectrum should truncate");
+        assert!(rank < 96, "rank {rank} should be below full dimension");
+
+        let exact = precondition_eigen(
+            &EigenPair {
+                a: decompose_factor(&a).unwrap(),
+                g: decompose_factor(&g).unwrap(),
+            },
+            &grad,
+            gamma,
+        );
+        let approx = precondition_eigen(
+            &EigenPair {
+                a: decompose_factor(&a).unwrap(),
+                g: ge,
+            },
+            &grad,
+            gamma,
+        );
+        let rel = approx.max_abs_diff(&exact) / exact.max_abs().max(1e-12);
+        assert!(rel < 0.05, "relative precondition error {rel}");
+    }
+
+    #[test]
+    fn randomized_backend_falls_back_to_exact_on_flat_spectrum() {
+        // Near-identity factor: no low-rank structure, so the adaptive
+        // loop must exhaust its rank cap and hand back the exact result.
+        let mut g = {
+            let mut rng = Rng64::new(14);
+            random_spd(100, &mut rng)
+        };
+        g.scale(1e-3);
+        g.add_diag(1.0); // eigenvalues clustered near 1 → flat spectrum
+        let policy = crate::config::RandEigPolicy {
+            min_dim: 1,
+            mass_threshold: 0.999,
+            max_rank_frac: 0.25,
+            ..Default::default()
+        };
+        let e = decompose_factor_randomized(&g, &policy).unwrap();
+        assert_eq!(e.truncated_rank(), None, "flat spectrum must go exact");
+        let exact = decompose_factor(&g).unwrap();
+        let lmax = exact.eigenvalues.last().copied().unwrap();
+        let emax = e.eigenvalues.last().copied().unwrap();
+        assert!((lmax - emax).abs() / lmax < 1e-4);
     }
 
     #[test]

@@ -42,11 +42,11 @@
 //! round-trip the full optimizer state for checkpoint-based rank-loss
 //! recovery.
 
-use crate::config::{DistStrategy, InversionMethod, KfacConfig};
+use crate::config::{DistStrategy, EigenSolver, InversionMethod, KfacConfig};
 use crate::distribution::{assign_factors, assign_layers_lw, factor_descs, FactorDesc};
 use crate::math::{
-    decompose_factor_with, invert_factor, kl_clip_nu, precondition_eigen, precondition_inverse,
-    EigenPair, InversePair,
+    decompose_factor_randomized, decompose_factor_with, invert_factor, kl_clip_nu,
+    precondition_eigen, precondition_inverse, EigenPair, InversePair,
 };
 use crate::stats::StageStats;
 use kfac_collectives::{Communicator, ReduceOp, TrafficClass};
@@ -101,6 +101,16 @@ pub struct Kfac {
     pending_max_cond: f64,
     /// Worst condition number of the most recent completed pass.
     max_cond: f64,
+    /// Largest retained eigenbasis rank in the pass being computed
+    /// (running max across this rank's factors).
+    pending_max_rank: u64,
+    /// Largest retained rank of the most recent completed pass.
+    eig_rank: u64,
+    /// Smallest captured spectral mass in the pass being computed
+    /// (running min across this rank's factors; +∞ = none yet).
+    pending_min_mass: f64,
+    /// Smallest captured spectral mass of the most recent completed pass.
+    eig_captured_mass: f64,
     /// f64 bits of the last KL-clip ν (atomic: recorded from the
     /// `&self` apply path).
     last_nu_bits: std::sync::atomic::AtomicU64,
@@ -143,6 +153,10 @@ impl Kfac {
             last_eig_iter: 0,
             pending_max_cond: 0.0,
             max_cond: 0.0,
+            pending_max_rank: 0,
+            eig_rank: 0,
+            pending_min_mass: f64::INFINITY,
+            eig_captured_mass: 0.0,
             last_nu_bits: std::sync::atomic::AtomicU64::new(0f64.to_bits()),
             precond_ratio_bits: std::sync::atomic::AtomicU64::new(0f64.to_bits()),
         }
@@ -175,6 +189,8 @@ impl Kfac {
             .identity_preconds
             .load(std::sync::atomic::Ordering::Relaxed);
         stats.max_cond = self.max_cond;
+        stats.eig_rank = self.eig_rank;
+        stats.eig_captured_mass = self.eig_captured_mass;
         stats.last_nu =
             f64::from_bits(self.last_nu_bits.load(std::sync::atomic::Ordering::Relaxed));
         stats.precond_ratio = f64::from_bits(
@@ -459,19 +475,26 @@ impl Kfac {
     fn compute_second_order(&mut self, id: usize) -> FactorSecondOrder {
         let so = match self.cfg.inversion {
             InversionMethod::Eigen => {
-                let eig = {
+                let (eig, trace) = {
                     let avg = self.averages[id]
                         .as_ref()
                         .expect("factor average exists before second-order update");
-                    decompose_factor_with(avg, self.cfg.eigen_solver)
-                        .ok()
-                        .filter(|e| {
-                            e.eigenvalues.iter().all(|v| v.is_finite())
-                                && e.eigenvectors.as_slice().iter().all(|v| v.is_finite())
-                        })
+                    let trace = avg.trace() as f64;
+                    let eig = match self.cfg.eigen_solver {
+                        EigenSolver::Randomized => {
+                            decompose_factor_randomized(avg, &self.cfg.rand_eig)
+                        }
+                        solver => decompose_factor_with(avg, solver),
+                    }
+                    .ok()
+                    .filter(|e| {
+                        e.eigenvalues.iter().all(|v| v.is_finite())
+                            && e.eigenvectors.as_slice().iter().all(|v| v.is_finite())
+                    });
+                    (eig, trace)
                 };
                 if let Some(e) = &eig {
-                    self.record_spectrum(id, e);
+                    self.record_spectrum(id, e, trace);
                 }
                 eig.map(FactorSecondOrder::Eigen)
             }
@@ -494,28 +517,44 @@ impl Kfac {
         }
     }
 
-    /// Probe: per-factor eigen-spectrum summary — λ_min, λ_max, and
-    /// condition number as per-layer gauges plus run-wide histograms.
-    /// Pure observability: values are *read* from the decomposition and
+    /// Probe: per-factor eigen-spectrum summary — λ_min, λ_max,
+    /// condition number, retained eigenbasis rank and captured spectral
+    /// mass (Σλ_kept / tr F, where `trace` is the factor average's
+    /// trace) as per-layer gauges plus run-wide histograms. Pure
+    /// observability: values are *read* from the decomposition and
     /// never feed back into the update, and nothing at all is computed
     /// when no telemetry recorder was installed at construction.
-    fn record_spectrum(&mut self, id: usize, eig: &kfac_tensor::EigenDecomposition) {
+    fn record_spectrum(&mut self, id: usize, eig: &kfac_tensor::EigenDecomposition, trace: f64) {
         if self.telemetry.is_none() {
             return;
         }
+        let n = eig.eigenvalues.len();
+        // λ_min over the *kept* modes: a randomized-truncated
+        // decomposition pads discarded leading modes with exact zeros,
+        // which are layout artifacts, not spectrum.
+        let rank = eig.truncated_rank().unwrap_or(n);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for &v in &eig.eigenvalues {
+        let mut captured = 0.0f64;
+        for &v in &eig.eigenvalues[n - rank..] {
             lo = lo.min(v as f64);
             hi = hi.max(v as f64);
+            captured += (v as f64).max(0.0);
         }
         if !lo.is_finite() || !hi.is_finite() {
             return;
         }
+        let mass = if trace > 0.0 {
+            (captured / trace).min(1.0)
+        } else {
+            1.0
+        };
         // Factors are PSD; clamp λ_min away from zero so the condition
         // number stays finite for rank-deficient factors.
         let cond = hi / lo.max(1e-12);
         self.pending_max_cond = self.pending_max_cond.max(cond);
+        self.pending_max_rank = self.pending_max_rank.max(rank as u64);
+        self.pending_min_mass = self.pending_min_mass.min(mass);
         let (registry, _) = self.telemetry.as_ref().expect("checked above");
         let li = id / 2;
         let kind = if id.is_multiple_of(2) { "a" } else { "g" };
@@ -528,9 +567,17 @@ impl Kfac {
         registry
             .gauge(&format!("kfac/layer{li}/{kind}_cond"))
             .set(cond);
+        registry
+            .gauge(&format!("kfac/layer{li}/{kind}_eig_rank"))
+            .set(rank as f64);
+        registry
+            .gauge(&format!("kfac/layer{li}/{kind}_eig_mass"))
+            .set(mass);
         registry.histogram("kfac/lambda_min").record(lo);
         registry.histogram("kfac/lambda_max").record(hi);
         registry.histogram("kfac/cond").record(cond);
+        registry.histogram("kfac/eig_rank").record(rank as f64);
+        registry.histogram("kfac/eig_mass").record(mass);
     }
 
     /// Wire length (f32 words) of one factor's second-order payload.
@@ -658,8 +705,22 @@ impl Kfac {
             self.max_cond = self.pending_max_cond;
             self.pending_max_cond = 0.0;
         }
+        if self.pending_max_rank > 0 {
+            self.eig_rank = self.pending_max_rank;
+            self.pending_max_rank = 0;
+        }
+        if self.pending_min_mass.is_finite() {
+            self.eig_captured_mass = self.pending_min_mass;
+            self.pending_min_mass = f64::INFINITY;
+        }
         if let Some((registry, _)) = &self.telemetry {
             registry.gauge("kfac/max_cond").set(self.max_cond);
+            registry
+                .gauge("kfac/max_eig_rank")
+                .set(self.eig_rank as f64);
+            registry
+                .gauge("kfac/min_eig_mass")
+                .set(self.eig_captured_mass);
         }
     }
 

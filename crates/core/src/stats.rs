@@ -48,6 +48,16 @@ pub struct StageStats {
     pub precond_ratio: f64,
     /// Iterations elapsed since the last completed second-order update.
     pub staleness_age: u64,
+    /// Largest per-factor eigenbasis rank retained in the most recent
+    /// second-order update (the factor dimension when the exact backends
+    /// ran; less when the randomized backend truncated; 0 when none yet
+    /// or no telemetry recorder is installed).
+    pub eig_rank: u64,
+    /// Smallest per-factor captured spectral mass (Σλ_kept / tr F) in the
+    /// most recent second-order update — 1.0 for exact decompositions,
+    /// the adaptive-rank capture for truncated ones (0 when none yet or
+    /// no telemetry recorder is installed).
+    pub eig_captured_mass: f64,
 }
 
 impl StageStats {
@@ -110,6 +120,16 @@ impl StageStats {
         // recent scalar trajectory values.
         self.max_cond = self.max_cond.max(other.max_cond);
         self.staleness_age = self.staleness_age.max(other.staleness_age);
+        self.eig_rank = self.eig_rank.max(other.eig_rank);
+        // Group-wide capture is the *worst* rank's capture; 0 means "no
+        // data", so only a reporting rank can lower it.
+        if other.eig_captured_mass != 0.0 {
+            self.eig_captured_mass = if self.eig_captured_mass == 0.0 {
+                other.eig_captured_mass
+            } else {
+                self.eig_captured_mass.min(other.eig_captured_mass)
+            };
+        }
         if other.last_nu != 0.0 {
             self.last_nu = other.last_nu;
         }

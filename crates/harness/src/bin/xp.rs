@@ -70,6 +70,10 @@ fn main() {
         run_bench_kernels(&args[1..]);
         return;
     }
+    if target == "bench-eig" {
+        run_bench_eig(&args[1..]);
+        return;
+    }
     if target == "bench-allreduce" {
         run_bench_allreduce(&args[1..]);
         return;
@@ -310,6 +314,54 @@ fn run_bench_kernels(args: &[String]) {
     }
 }
 
+/// `xp bench-eig [--json [FILE]]` — time the exact eigensolver backends
+/// (tridiagonal QL, Jacobi) against the adaptive-rank randomized backend
+/// on every ResNet-32 factor dimension plus ≥512 square stress dims.
+/// `--json` writes machine-readable results (default `BENCH_eig.json`).
+fn run_bench_eig(args: &[String]) {
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let path = match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_eig.json".to_string(),
+                };
+                json_path = Some(PathBuf::from(path));
+            }
+            other => flag_error(&format!(
+                "unknown flag {other} (bench-eig takes [--json [FILE]])"
+            )),
+        }
+        i += 1;
+    }
+    eprintln!(
+        "=== bench-eig (pool threads: {}) ===",
+        rayon::current_num_threads()
+    );
+    let started = std::time::Instant::now();
+    let cases = kfac_harness::bencheig::run_all();
+    print!("{}", kfac_harness::bencheig::render_table(&cases));
+    eprintln!(
+        "=== bench-eig done in {:.1}s ===",
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = json_path {
+        let json = kfac_harness::bencheig::to_json(&cases);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// `xp bench-allreduce [--ranks N] [--iters K] [--json [FILE]]` —
 /// measure ProcComm allreduce latency per algorithm across message sizes
 /// on a real multi-process world, fit the α/β link model, and locate the
@@ -421,7 +473,7 @@ fn flag_error(msg: &str) -> ! {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: xp <experiment|all|list|bench-kernels|bench-allreduce|proc-train|prom-lint FILE> \
+        "usage: xp <experiment|all|list|bench-kernels|bench-eig|bench-allreduce|proc-train|prom-lint FILE> \
          [--scale smoke|quick|full] [--out DIR] [--trace-out FILE] [--overlap [WORKERS]] \
          [--serve-metrics [PORT]] [--json [FILE]] [--ranks N] [--iters K]\n\
          experiments: {}",

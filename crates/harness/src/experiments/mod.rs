@@ -12,6 +12,7 @@
 //! | [`fig10`] | Fig. 10 — factor computation time vs model size (measured + projected) |
 //! | [`overlap`] | §V — overlapped vs sequential execution (measured + projected) |
 //! | [`chaos`] | fault matrix — resilient 4-rank training under injected faults |
+//! | [`randeig`] | randomized vs exact eigensolver — 4-rank CIFAR loss parity |
 //!
 //! Each driver returns an [`ExperimentOutput`] of markdown tables plus
 //! free-form notes; the `xp` binary prints them and appends to
@@ -24,6 +25,7 @@ pub mod fig10;
 pub mod fig5;
 pub mod freq;
 pub mod overlap;
+pub mod randeig;
 pub mod scaling;
 pub mod table1;
 pub mod table5;
@@ -79,6 +81,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablations",
     "overlap",
     "chaos",
+    "randeig",
 ];
 
 /// Dispatch one experiment by id.
@@ -98,6 +101,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "ablations" => Some(ablations::run(scale)),
         "overlap" => Some(overlap::run(scale)),
         "chaos" => Some(chaos::run(scale)),
+        "randeig" => Some(randeig::run(scale)),
         _ => None,
     }
 }

@@ -28,6 +28,7 @@
 //! cargo run --release -p kfac-harness --bin xp -- all --scale smoke
 //! ```
 
+pub mod bencheig;
 pub mod benchkernels;
 pub mod checkpoint;
 pub mod experiments;

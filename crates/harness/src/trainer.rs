@@ -82,8 +82,14 @@ impl TrainConfig {
         }
     }
 
-    /// Attach a K-FAC preconditioner.
-    pub fn with_kfac(mut self, cfg: KfacConfig) -> Self {
+    /// Attach a K-FAC preconditioner. A `KFAC_EIG_BACKEND` env knob
+    /// (jacobi|tridiag|randomized) overrides the configured eigensolver
+    /// here, so any experiment can be re-run under a different factor
+    /// backend without a rebuild; an unparseable value panics.
+    pub fn with_kfac(mut self, mut cfg: KfacConfig) -> Self {
+        if let Some(solver) = kfac::EigenSolver::from_env() {
+            cfg.eigen_solver = solver;
+        }
         self.kfac = Some(cfg);
         self
     }

@@ -68,6 +68,33 @@ impl EigenDecomposition {
     pub fn wire_len(n: usize) -> usize {
         n + n * n
     }
+
+    /// Detect a truncated decomposition (see [`crate::randeig`]): counts
+    /// the leading modes whose eigenvalue *and* entire eigenvector column
+    /// are exactly zero — the padding the randomized backend emits for
+    /// the discarded subspace — and returns `Some(kept_rank)` when any
+    /// exist. Exact decompositions return `None`: their columns are unit
+    /// vectors, so a zero column cannot occur, and the exact zeros
+    /// survive `f32` wire round trips bit-for-bit, making the detection
+    /// stable across the allgather and checkpoint paths.
+    pub fn truncated_rank(&self) -> Option<usize> {
+        let n = self.eigenvalues.len();
+        let q = &self.eigenvectors;
+        let mut padded = 0usize;
+        for j in 0..n {
+            let zero_col = self.eigenvalues[j] == 0.0 && (0..n).all(|i| q[(i, j)] == 0.0);
+            if zero_col {
+                padded += 1;
+            } else {
+                break;
+            }
+        }
+        if padded == 0 {
+            None
+        } else {
+            Some(n - padded)
+        }
+    }
 }
 
 /// Maximum number of full Jacobi sweeps before giving up. Converging

@@ -13,7 +13,9 @@
 //!   computation (`A = āāᵀ`, `G = ggᵀ`).
 //! * [`eigen`] — symmetric eigendecomposition via cyclic Jacobi sweeps,
 //!   the workhorse of the paper's *inverse-free* preconditioning path
-//!   (Equations 13–15).
+//!   (Equations 13–15); [`tridiag`] is the faster LAPACK-style exact
+//!   route, [`randeig`] the randomized truncated route for factors with
+//!   decaying spectra (Puiu, arXiv:2206.15397).
 //! * [`cholesky`] / [`inverse`] — SPD Cholesky inverse and Gauss–Jordan
 //!   inverse with partial pivoting, implementing the paper's *explicit
 //!   inverse* path (Equation 11) that Table I compares against.
@@ -37,6 +39,7 @@ pub mod kron;
 pub mod matmul;
 pub mod matrix;
 pub mod ops;
+pub mod randeig;
 pub mod rng;
 pub mod tensor4;
 pub mod tridiag;
@@ -46,6 +49,7 @@ pub use eigen::{eigh, EigenDecomposition};
 pub use inverse::invert;
 pub use kron::{kron, kron_matvec};
 pub use matrix::Matrix;
+pub use randeig::{eigh_randomized, RandEig, RandEigOptions};
 pub use rng::Rng64;
 pub use tensor4::Tensor4;
 pub use tridiag::eigh_tridiag;
