@@ -132,26 +132,48 @@ impl AlgoPolicy {
     /// # Panics
     /// Panics with a clear message on an unparseable override — a typo in
     /// an env knob should fail loudly, not silently select a default.
+    /// Fallible callers (worker bootstrap, recovery paths) use
+    /// [`AlgoPolicy::try_from_env`] instead.
     pub fn from_env() -> AlgoPolicy {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`AlgoPolicy::from_env`] returning a typed error instead of
+    /// panicking on an unparseable override.
+    pub fn try_from_env() -> Result<AlgoPolicy, String> {
+        Self::from_env_spec(
+            std::env::var("KFAC_COMM_ALGO").ok().as_deref(),
+            std::env::var("KFAC_COMM_CHUNK_KB").ok().as_deref(),
+            std::env::var("KFAC_COMM_HD_MAX_KB").ok().as_deref(),
+        )
+    }
+
+    /// Pure parse of the three env overrides (testable without touching
+    /// the process environment).
+    pub fn from_env_spec(
+        algo: Option<&str>,
+        chunk_kb: Option<&str>,
+        hd_max_kb: Option<&str>,
+    ) -> Result<AlgoPolicy, String> {
         let mut p = AlgoPolicy::default();
-        if let Ok(s) = std::env::var("KFAC_COMM_ALGO") {
-            p.algo = CollectiveAlgo::parse(&s).unwrap_or_else(|| {
-                panic!("KFAC_COMM_ALGO={s:?} invalid; expected flat|ring|hd|auto")
-            });
+        if let Some(s) = algo {
+            p.algo = CollectiveAlgo::parse(s).ok_or_else(|| {
+                format!("KFAC_COMM_ALGO={s:?} invalid; expected flat|ring|hd|auto")
+            })?;
         }
-        if let Ok(s) = std::env::var("KFAC_COMM_CHUNK_KB") {
-            let kb: usize = s.parse().unwrap_or_else(|_| {
-                panic!("KFAC_COMM_CHUNK_KB={s:?} invalid; expected an integer KiB count")
-            });
+        if let Some(s) = chunk_kb {
+            let kb: usize = s.parse().map_err(|_| {
+                format!("KFAC_COMM_CHUNK_KB={s:?} invalid; expected an integer KiB count")
+            })?;
             p.chunk_elems = (kb.max(1) * 1024) / std::mem::size_of::<f32>();
         }
-        if let Ok(s) = std::env::var("KFAC_COMM_HD_MAX_KB") {
-            let kb: usize = s.parse().unwrap_or_else(|_| {
-                panic!("KFAC_COMM_HD_MAX_KB={s:?} invalid; expected an integer KiB count")
-            });
+        if let Some(s) = hd_max_kb {
+            let kb: usize = s.parse().map_err(|_| {
+                format!("KFAC_COMM_HD_MAX_KB={s:?} invalid; expected an integer KiB count")
+            })?;
             p.hd_max_bytes = kb * 1024;
         }
-        p
+        Ok(p)
     }
 
     /// Resolve the algorithm for a message of `bytes` across `size` ranks.

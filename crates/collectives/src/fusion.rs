@@ -38,16 +38,25 @@ pub const MAX_FUSION_BYTES: usize = 512 << 20;
 ///
 /// # Panics
 /// Panics with a clear message if `KFAC_FUSION_MB` is set but not an
-/// integer MiB count.
+/// integer MiB count. Fallible callers use [`try_resolve_threshold`].
 pub fn resolve_threshold(configured: Option<usize>) -> usize {
-    let env = std::env::var("KFAC_FUSION_MB").ok().map(|s| {
-        s.parse::<usize>().map(|mb| mb << 20).unwrap_or_else(|_| {
-            panic!("KFAC_FUSION_MB={s:?} invalid; expected an integer MiB count")
-        })
-    });
-    env.or(configured)
+    try_resolve_threshold(configured).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`resolve_threshold`] returning a typed error instead of panicking on
+/// an unparseable `KFAC_FUSION_MB`.
+pub fn try_resolve_threshold(configured: Option<usize>) -> Result<usize, String> {
+    let env =
+        match std::env::var("KFAC_FUSION_MB") {
+            Ok(s) => Some(s.parse::<usize>().map(|mb| mb << 20).map_err(|_| {
+                format!("KFAC_FUSION_MB={s:?} invalid; expected an integer MiB count")
+            })?),
+            Err(_) => None,
+        };
+    Ok(env
+        .or(configured)
         .unwrap_or(DEFAULT_FUSION_BYTES)
-        .clamp(MIN_FUSION_BYTES, MAX_FUSION_BYTES)
+        .clamp(MIN_FUSION_BYTES, MAX_FUSION_BYTES))
 }
 
 /// One queued tensor awaiting fusion.

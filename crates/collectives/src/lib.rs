@@ -50,6 +50,11 @@
 //!   layer for bit-identical results to [`ThreadComm`].
 //! * [`hier`] — [`HierComm`], the two-level (intra-node × inter-node)
 //!   composition of any two backends.
+//! * [`membership`] — elastic group membership: failure detection
+//!   (heartbeats on the proc fabric, injectable [`ThreadComm::mark_dead`]
+//!   on the thread fabric), a min-rank–coordinated agreement round, and
+//!   epoch-fenced [`ShrunkComm`] communicators so survivors of a
+//!   permanent rank loss reconfigure and continue instead of aborting.
 //! * [`backend`] — [`CommBackend`], the one switch (`KFAC_COMM_BACKEND`)
 //!   that picks the fabric everywhere.
 
@@ -62,6 +67,7 @@ pub mod fusion;
 pub mod handle;
 pub mod hier;
 pub mod local;
+pub mod membership;
 pub mod proc;
 pub mod progress;
 pub mod retry;
@@ -78,7 +84,8 @@ pub use fusion::FusionBuffer;
 pub use handle::{CollectiveError, OpHandle, OpQueue, OpResult};
 pub use hier::HierComm;
 pub use local::LocalComm;
-pub use proc::{ProcComm, ProcConfig};
+pub use membership::{Elastic, GroupView, Membership, ShrunkComm, ViewTransport};
+pub use proc::{HeartbeatConfig, ProcComm, ProcConfig};
 pub use progress::ProgressEngine;
 pub use retry::RetryPolicy;
 pub use thread::ThreadComm;

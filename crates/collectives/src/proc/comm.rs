@@ -5,22 +5,104 @@ use super::wire::{bytes_to_f32s, f32s_to_bytes, read_frame, write_frame};
 use crate::algo::{AlgoComm, AlgoPolicy};
 use crate::communicator::{Communicator, ReduceOp};
 use crate::handle::CollectiveError;
+use crate::membership::{
+    agree_on_survivors, Elastic, GroupView, Membership, ShrunkComm, ViewTransport,
+    AGREEMENT_DEADLINE,
+};
 use crate::traffic::{Traffic, TrafficClass};
-use crate::transport::Transport;
+use crate::transport::{tag_epoch, Transport, CTRL_BIT, TAG_HEARTBEAT};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Failure-detector tuning for the proc fabric.
+///
+/// The per-peer reader threads already detect a *closed* peer instantly
+/// (EOF/torn frame). Heartbeats catch the other failure mode — a peer
+/// that is wedged with its socket still open: every `interval` each rank
+/// writes an empty control frame to every peer, and a peer from which
+/// nothing (heartbeat or data) has arrived for `timeout` is declared
+/// dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Send/scan period. `Duration::ZERO` disables the detector (EOF
+    /// detection by the reader threads still works).
+    pub interval: Duration,
+    /// Silence threshold after which a peer is declared dead.
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_secs(15),
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Read `KFAC_HEARTBEAT_MS` (period; `0` disables) and
+    /// `KFAC_HEARTBEAT_TIMEOUT_MS` (silence threshold), returning a
+    /// typed error on garbage instead of panicking.
+    pub fn try_from_env() -> Result<HeartbeatConfig, String> {
+        let mut cfg = HeartbeatConfig::default();
+        if let Ok(v) = std::env::var("KFAC_HEARTBEAT_MS") {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("KFAC_HEARTBEAT_MS={v:?} invalid; expected milliseconds"))?;
+            cfg.interval = Duration::from_millis(ms);
+        }
+        if let Ok(v) = std::env::var("KFAC_HEARTBEAT_TIMEOUT_MS") {
+            let ms: u64 = v.parse().map_err(|_| {
+                format!("KFAC_HEARTBEAT_TIMEOUT_MS={v:?} invalid; expected milliseconds")
+            })?;
+            cfg.timeout = Duration::from_millis(ms);
+        }
+        Ok(cfg)
+    }
+
+    fn enabled(&self) -> bool {
+        self.interval > Duration::ZERO
+    }
+}
 
 /// Mailbox state shared between reader threads and collective callers.
 struct MailState {
     /// Delivered-but-unclaimed messages, keyed by `(from, tag)`.
     boxes: HashMap<(usize, u64), VecDeque<Vec<f32>>>,
-    /// Peers whose connection has closed or errored; receives from them
-    /// fail immediately with [`CollectiveError::RankFailed`].
+    /// Peers whose connection has closed, errored, or gone silent past
+    /// the heartbeat timeout.
     dead: Vec<bool>,
+    /// Peers acknowledged as removed from the group by a membership
+    /// shrink: excluded from the any-dead failure scan so the survivor
+    /// group keeps communicating.
+    fenced: Vec<bool>,
+    /// Last time anything (heartbeat or data) arrived from each peer.
+    last_heard: Vec<Instant>,
+}
+
+/// State shared by callers, reader threads and the heartbeat thread.
+struct SharedState {
+    mail: Mutex<MailState>,
+    cv: Condvar,
+    /// Current membership epoch; readers drop data frames stamped with
+    /// an older epoch on arrival (straggler fencing).
+    epoch: AtomicU64,
+}
+
+impl SharedState {
+    fn mark_dead(&self, peer: usize) {
+        let mut st = self.mail.lock();
+        if !st.dead[peer] {
+            st.dead[peer] = true;
+            self.cv.notify_all();
+        }
+    }
 }
 
 /// TCP mesh endpoint implementing [`Transport`].
@@ -29,30 +111,38 @@ struct MailState {
 /// the tag-keyed mailboxes, so sends never deadlock against receives
 /// (both sides of an exchange can write first; the kernel plus the reader
 /// thread buffer everything in flight). Writes go directly to the socket
-/// under a per-peer mutex.
+/// under a per-peer mutex. A heartbeat thread ([`HeartbeatConfig`])
+/// doubles as the liveness monitor.
 pub struct ProcTransport {
     rank: usize,
     world: usize,
     timeout: Duration,
-    state: Arc<(Mutex<MailState>, Condvar)>,
-    writers: Vec<Option<Mutex<TcpStream>>>,
+    state: Arc<SharedState>,
+    writers: Arc<Vec<Option<Mutex<TcpStream>>>>,
     readers: Vec<JoinHandle<()>>,
+    heartbeat: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
 }
 
 impl ProcTransport {
-    /// Bootstrap the mesh per `cfg` and start the reader threads.
+    /// Bootstrap the mesh per `cfg` and start the reader threads (and,
+    /// when enabled, the heartbeat thread).
     pub fn establish(
         cfg: &ProcConfig,
+        hb: HeartbeatConfig,
         pre_bound_root: Option<TcpListener>,
     ) -> Result<ProcTransport, CollectiveError> {
         let streams = establish(cfg, pre_bound_root)?;
-        let state = Arc::new((
-            Mutex::new(MailState {
+        let now = Instant::now();
+        let state = Arc::new(SharedState {
+            mail: Mutex::new(MailState {
                 boxes: HashMap::new(),
                 dead: vec![false; cfg.world],
+                fenced: vec![false; cfg.world],
+                last_heard: vec![now; cfg.world],
             }),
-            Condvar::new(),
-        ));
+            cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+        });
         let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(cfg.world);
         let mut readers = Vec::new();
         for (peer, stream) in streams.into_iter().enumerate() {
@@ -70,24 +160,31 @@ impl ProcTransport {
                     match read_frame(&mut read_half) {
                         Ok((tag, payload)) => match bytes_to_f32s(&payload) {
                             Some(msg) => {
-                                let (lock, cv) = &*state;
-                                let mut st = lock.lock();
+                                let mut st = state.mail.lock();
+                                st.last_heard[peer] = Instant::now();
+                                if tag == TAG_HEARTBEAT {
+                                    continue; // liveness only, nothing to deliver
+                                }
+                                // Fence stragglers: a data frame stamped
+                                // with a pre-shrink epoch is dropped on
+                                // arrival.
+                                if tag & CTRL_BIT == 0
+                                    && tag_epoch(tag) < state.epoch.load(Ordering::Relaxed)
+                                {
+                                    continue;
+                                }
                                 st.boxes.entry((peer, tag)).or_default().push_back(msg);
-                                cv.notify_all();
+                                state.cv.notify_all();
                             }
                             None => {
                                 // Torn frame: poison the peer, callers see
                                 // RankFailed rather than silent corruption.
-                                let (lock, cv) = &*state;
-                                lock.lock().dead[peer] = true;
-                                cv.notify_all();
+                                state.mark_dead(peer);
                                 return;
                             }
                         },
                         Err(_) => {
-                            let (lock, cv) = &*state;
-                            lock.lock().dead[peer] = true;
-                            cv.notify_all();
+                            state.mark_dead(peer);
                             return;
                         }
                     }
@@ -96,6 +193,18 @@ impl ProcTransport {
             readers.push(handle);
             writers.push(Some(Mutex::new(stream)));
         }
+        let writers = Arc::new(writers);
+        let heartbeat = if hb.enabled() && cfg.world > 1 {
+            Some(spawn_heartbeat(
+                cfg.rank,
+                cfg.world,
+                hb,
+                Arc::clone(&state),
+                Arc::clone(&writers),
+            ))
+        } else {
+            None
+        };
         Ok(ProcTransport {
             rank: cfg.rank,
             world: cfg.world,
@@ -103,8 +212,68 @@ impl ProcTransport {
             state,
             writers,
             readers,
+            heartbeat,
         })
     }
+
+    /// First peer that is dead and not yet fenced, if any.
+    fn unfenced_dead(st: &MailState) -> Option<usize> {
+        st.dead.iter().zip(&st.fenced).position(|(&d, &f)| d && !f)
+    }
+}
+
+/// Periodically write heartbeat frames to every peer and declare peers
+/// dead after `hb.timeout` of silence.
+fn spawn_heartbeat(
+    rank: usize,
+    world: usize,
+    hb: HeartbeatConfig,
+    state: Arc<SharedState>,
+    writers: Arc<Vec<Option<Mutex<TcpStream>>>>,
+) -> (Arc<AtomicBool>, JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name(format!("kfac-proc-hb-{rank}"))
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                for peer in 0..world {
+                    if peer == rank {
+                        continue;
+                    }
+                    let already_dead = state.mail.lock().dead[peer];
+                    if already_dead {
+                        continue;
+                    }
+                    if let Some(writer) = &writers[peer] {
+                        let failed = write_frame(&mut *writer.lock(), TAG_HEARTBEAT, &[]).is_err();
+                        if failed {
+                            state.mark_dead(peer);
+                        }
+                    }
+                }
+                {
+                    let mut st = state.mail.lock();
+                    let now = Instant::now();
+                    let mut changed = false;
+                    for peer in 0..world {
+                        if peer != rank
+                            && !st.dead[peer]
+                            && now.duration_since(st.last_heard[peer]) > hb.timeout
+                        {
+                            st.dead[peer] = true;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        state.cv.notify_all();
+                    }
+                }
+                std::thread::sleep(hb.interval);
+            }
+        })
+        .expect("spawn heartbeat thread");
+    (stop, handle)
 }
 
 impl Transport for ProcTransport {
@@ -121,15 +290,91 @@ impl Transport for ProcTransport {
             return Err(CollectiveError::Mismatch("send to invalid peer"));
         };
         let bytes = f32s_to_bytes(payload);
-        let mut stream = writer.lock();
-        write_frame(&mut *stream, tag, &bytes).map_err(|_| CollectiveError::RankFailed(to))
+        let failed = write_frame(&mut *writer.lock(), tag, &bytes).is_err();
+        if failed {
+            self.state.mark_dead(to);
+            return Err(CollectiveError::RankFailed(to));
+        }
+        Ok(())
     }
 
     fn try_recv(&self, from: usize, tag: u64) -> Result<Vec<f32>, CollectiveError> {
         let key = (from, tag);
         let deadline = Instant::now() + self.timeout;
-        let (lock, cv) = &*self.state;
-        let mut st = lock.lock();
+        let mut st = self.state.mail.lock();
+        loop {
+            if let Some(q) = st.boxes.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        st.boxes.remove(&key);
+                    }
+                    return Ok(msg);
+                }
+            }
+            // A collective cannot complete once *any* group member is
+            // gone: fail promptly with the culprit instead of burning the
+            // deadline, so callers can start reconfiguring immediately.
+            // Fenced peers are acknowledged-dead (previous epochs) and
+            // don't count.
+            if from >= self.world {
+                return Err(CollectiveError::RankFailed(from));
+            }
+            if let Some(culprit) = Self::unfenced_dead(&st) {
+                return Err(CollectiveError::RankFailed(culprit));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CollectiveError::Timeout {
+                    waited_ms: self.timeout.as_millis() as u64,
+                });
+            }
+            self.state.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+}
+
+impl Membership for ProcTransport {
+    fn observed_dead(&self) -> Vec<usize> {
+        let st = self.state.mail.lock();
+        st.dead
+            .iter()
+            .zip(&st.fenced)
+            .enumerate()
+            .filter(|(_, (&d, &f))| d && !f)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn mark_dead(&self, original: usize) {
+        if original < self.world {
+            self.state.mark_dead(original);
+        }
+    }
+
+    fn fence(&self, dead: &[usize], new_epoch: u64) {
+        let mut st = self.state.mail.lock();
+        for &d in dead {
+            if d < self.world {
+                st.dead[d] = true;
+                st.fenced[d] = true;
+            }
+        }
+        self.state.epoch.store(new_epoch, Ordering::Relaxed);
+        let fenced = st.fenced.clone();
+        st.boxes.retain(|&(peer, tag), _| {
+            !fenced[peer] && (tag & CTRL_BIT != 0 || tag_epoch(tag) >= new_epoch)
+        });
+        self.state.cv.notify_all();
+    }
+
+    fn recv_deadline(
+        &self,
+        from: usize,
+        tag: u64,
+        deadline: Instant,
+    ) -> Result<Vec<f32>, CollectiveError> {
+        let key = (from, tag);
+        let mut st = self.state.mail.lock();
         loop {
             if let Some(q) = st.boxes.get_mut(&key) {
                 if let Some(msg) = q.pop_front() {
@@ -144,19 +389,22 @@ impl Transport for ProcTransport {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(CollectiveError::Timeout {
-                    waited_ms: self.timeout.as_millis() as u64,
-                });
+                return Err(CollectiveError::Timeout { waited_ms: 0 });
             }
-            cv.wait_for(&mut st, deadline - now);
+            self.state.cv.wait_for(&mut st, deadline - now);
         }
     }
 }
 
 impl Drop for ProcTransport {
     fn drop(&mut self) {
-        // Wake the reader threads out of their blocking reads, then join
-        // them so no thread outlives the mailboxes it serves.
+        // Stop the heartbeat first so it doesn't race the socket
+        // shutdowns, then wake the reader threads out of their blocking
+        // reads and join them so no thread outlives the mailboxes.
+        if let Some((stop, handle)) = self.heartbeat.take() {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
         for writer in self.writers.iter().flatten() {
             let _ = writer.lock().shutdown(Shutdown::Both);
         }
@@ -171,18 +419,21 @@ impl Drop for ProcTransport {
 /// Implements the full [`Communicator`] contract — infallible and
 /// fallible collectives, typed [`CollectiveError`]s, barrier, traffic
 /// accounting — by running the [`crate::algo`] algorithm layer over a
-/// [`ProcTransport`] mesh. Because the algorithms pin the canonical
-/// rank-order reduction, a `ProcComm` allreduce is bitwise identical to a
-/// [`crate::ThreadComm`] allreduce of the same inputs, and
-/// [`crate::FaultyCommunicator`] / [`crate::RetryPolicy`] wrap it
-/// unchanged.
+/// [`ProcTransport`] mesh, wrapped in an epoch-fenced
+/// [`ViewTransport`]. At boot the view is the identity (epoch 0, members
+/// `0..world`), which stamps every tag with epoch 0 — bitwise identical
+/// on the wire to the pre-membership protocol — so a `ProcComm` allreduce
+/// stays bitwise identical to a [`crate::ThreadComm`] allreduce of the
+/// same inputs, and [`crate::FaultyCommunicator`] / [`crate::RetryPolicy`]
+/// wrap it unchanged. After a rank dies, [`Elastic::shrink`] agrees on
+/// the survivors and returns a new `ProcComm` fenced to the next epoch.
 pub struct ProcComm {
-    inner: AlgoComm<ProcTransport>,
+    inner: AlgoComm<ViewTransport<ProcTransport>>,
 }
 
 impl ProcComm {
     /// Join (or, for rank 0, host) the group described by `cfg`, with the
-    /// algorithm policy taken from the environment.
+    /// algorithm policy and heartbeat tuning taken from the environment.
     pub fn connect(cfg: &ProcConfig) -> Result<ProcComm, CollectiveError> {
         Self::connect_with(cfg, AlgoPolicy::from_env(), None)
     }
@@ -194,9 +445,22 @@ impl ProcComm {
         policy: AlgoPolicy,
         pre_bound_root: Option<TcpListener>,
     ) -> Result<ProcComm, CollectiveError> {
-        let transport = ProcTransport::establish(cfg, pre_bound_root)?;
+        let hb = HeartbeatConfig::try_from_env()
+            .map_err(|_| CollectiveError::Mismatch("invalid KFAC_HEARTBEAT_* environment"))?;
+        Self::connect_full(cfg, policy, hb, pre_bound_root)
+    }
+
+    /// Fully-explicit constructor: policy, heartbeat tuning, listener.
+    pub fn connect_full(
+        cfg: &ProcConfig,
+        policy: AlgoPolicy,
+        hb: HeartbeatConfig,
+        pre_bound_root: Option<TcpListener>,
+    ) -> Result<ProcComm, CollectiveError> {
+        let transport = Arc::new(ProcTransport::establish(cfg, hb, pre_bound_root)?);
+        let view = GroupView::boot(cfg.rank, cfg.world);
         Ok(ProcComm {
-            inner: AlgoComm::new(transport, policy),
+            inner: AlgoComm::new(ViewTransport::new(transport, view), policy),
         })
     }
 
@@ -205,9 +469,13 @@ impl ProcComm {
     pub fn from_env() -> Result<Option<ProcComm>, String> {
         match ProcConfig::from_env()? {
             None => Ok(None),
-            Some(cfg) => ProcComm::connect(&cfg)
-                .map(Some)
-                .map_err(|e| format!("proc rendezvous failed for rank {}: {e}", cfg.rank)),
+            Some(cfg) => {
+                let policy = AlgoPolicy::try_from_env()?;
+                let hb = HeartbeatConfig::try_from_env()?;
+                ProcComm::connect_full(&cfg, policy, hb, None)
+                    .map(Some)
+                    .map_err(|e| format!("proc rendezvous failed for rank {}: {e}", cfg.rank))
+            }
         }
     }
 
@@ -248,7 +516,9 @@ impl ProcComm {
                 let listener = if rank == 0 { pre_bound.take() } else { None };
                 std::thread::Builder::new()
                     .name(format!("kfac-proc-boot-{rank}"))
-                    .spawn(move || ProcComm::connect_with(&cfg, policy, listener))
+                    .spawn(move || {
+                        ProcComm::connect_full(&cfg, policy, HeartbeatConfig::default(), listener)
+                    })
                     .expect("spawn bootstrap thread")
             })
             .collect();
@@ -262,6 +532,18 @@ impl ProcComm {
     /// The active algorithm policy.
     pub fn policy(&self) -> AlgoPolicy {
         self.inner.policy()
+    }
+
+    /// The membership view this communicator runs in.
+    pub fn view(&self) -> &GroupView {
+        self.inner.transport().view()
+    }
+
+    /// Inject a failure observation (original rank id) — the proc
+    /// equivalent of [`crate::ThreadComm::mark_dead`], used by chaos
+    /// tests; real failures are detected by the reader/heartbeat threads.
+    pub fn mark_dead(&self, original: usize) {
+        self.inner.transport().base().mark_dead(original);
     }
 }
 
@@ -320,3 +602,32 @@ impl Communicator for ProcComm {
         self.inner.traffic()
     }
 }
+
+impl Elastic for ProcComm {
+    type Shrunk = ProcComm;
+
+    fn shrink(&self, dead_hint: &[usize]) -> Result<ProcComm, CollectiveError> {
+        let vt = self.inner.transport();
+        let view = vt.view();
+        let hint: Vec<usize> = dead_hint
+            .iter()
+            .filter(|&&r| r < view.world())
+            .map(|&r| view.to_original(r))
+            .collect();
+        let next = agree_on_survivors(vt.base().as_ref(), view, &hint, AGREEMENT_DEADLINE)?;
+        Ok(ProcComm {
+            inner: AlgoComm::new(
+                ViewTransport::new(Arc::clone(vt.base()), next),
+                self.inner.policy(),
+            ),
+        })
+    }
+
+    fn epoch(&self) -> u64 {
+        self.view().epoch
+    }
+}
+
+/// The communicator type [`Elastic::shrink`] would produce for a
+/// thread-fabric base — exported here for symmetry in user code.
+pub type ShrunkProcComm = ShrunkComm<ProcTransport>;

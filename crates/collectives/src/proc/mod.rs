@@ -33,4 +33,4 @@ pub mod comm;
 pub mod wire;
 
 pub use bootstrap::ProcConfig;
-pub use comm::{ProcComm, ProcTransport};
+pub use comm::{HeartbeatConfig, ProcComm, ProcTransport};

@@ -24,13 +24,18 @@
 //! deadlock the real stack would produce, so protocol bugs in the K-FAC
 //! step fail fast in tests.
 
+use crate::algo::AlgoPolicy;
 use crate::communicator::{combine_into, finalize, Communicator, ReduceOp};
 use crate::handle::CollectiveError;
+use crate::membership::{
+    agree_on_survivors, Elastic, GroupView, Membership, ShrunkComm, AGREEMENT_DEADLINE,
+};
 use crate::traffic::{Traffic, TrafficClass, TrafficCounter};
-use crate::transport::Transport;
+use crate::transport::{tag_epoch, Transport, CTRL_BIT};
 use kfac_telemetry::Span;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,8 +69,16 @@ enum OpKind {
 struct Slot {
     phase: Phase,
     kind: Option<OpKind>,
-    arrived: usize,
-    departed: usize,
+    /// Which ranks have contributed to the current generation. Per-rank
+    /// (not a counter) so a rank that participates and *then* dies is
+    /// never double-counted as both "arrived" and "dead" — the
+    /// completion condition is "every rank arrived or is dead".
+    arrived: Vec<bool>,
+    /// Which ranks have copied the result out (or drain-joined a failed
+    /// generation). The slot resets when every rank departed or is dead;
+    /// a counter here would let a participant's later death release the
+    /// slot early and strand a survivor still waiting for `Ready`.
+    departed: Vec<bool>,
     /// Reduction accumulator (allreduce) or broadcast payload.
     acc: Vec<f32>,
     /// Per-rank payloads (allgather).
@@ -88,6 +101,38 @@ struct Shared {
     /// collectives over thread ranks.
     mesh: Mutex<MeshMailboxes>,
     mesh_cv: Condvar,
+    /// Per-rank failure flags: the injectable failure-detector path
+    /// ([`ThreadComm::mark_dead`]) that keeps chaos/elastic tests
+    /// deterministic on the thread fabric. A dead rank fails every
+    /// in-flight and subsequent rendezvous/mesh receive promptly with
+    /// [`CollectiveError::RankFailed`].
+    dead: Vec<AtomicBool>,
+    /// Ranks acknowledged as removed from the group by a membership
+    /// shrink ([`Membership::fence`]); excluded from the any-dead
+    /// failure scan so the survivor group keeps communicating.
+    fenced: Vec<AtomicBool>,
+}
+
+impl Shared {
+    fn is_dead(&self, r: usize) -> bool {
+        match self.dead.get(r) {
+            Some(d) => d.load(Ordering::Relaxed),
+            None => true,
+        }
+    }
+
+    /// Every rank is either flagged in `mask` or known dead — the
+    /// rendezvous completion/reset condition.
+    fn all_accounted(&self, mask: &[bool]) -> bool {
+        mask.iter().enumerate().all(|(r, &m)| m || self.is_dead(r))
+    }
+
+    fn first_unfenced_dead(&self) -> Option<usize> {
+        self.dead
+            .iter()
+            .zip(&self.fenced)
+            .position(|(d, f)| d.load(Ordering::Relaxed) && !f.load(Ordering::Relaxed))
+    }
 }
 
 /// One rank's handle onto a thread-rank communicator group.
@@ -111,8 +156,8 @@ impl ThreadComm {
             slot: Mutex::new(Slot {
                 phase: Phase::Idle,
                 kind: None,
-                arrived: 0,
-                departed: 0,
+                arrived: vec![false; size],
+                departed: vec![false; size],
                 acc: Vec::new(),
                 payloads: vec![Vec::new(); size],
                 op: None,
@@ -122,6 +167,8 @@ impl ThreadComm {
             traffic: TrafficCounter::new(),
             mesh: Mutex::new(HashMap::new()),
             mesh_cv: Condvar::new(),
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            fenced: (0..size).map(|_| AtomicBool::new(false)).collect(),
         });
         (0..size)
             .map(|rank| ThreadComm {
@@ -135,6 +182,66 @@ impl ThreadComm {
     /// Group-wide traffic (sum over ranks).
     pub fn group_traffic(&self) -> Traffic {
         self.shared.traffic.snapshot()
+    }
+
+    /// Declare `rank` permanently failed — the thread fabric's injectable
+    /// failure detector (the proc fabric detects EOF/heartbeat loss; here
+    /// the victim or a chaos test injects the observation
+    /// deterministically).
+    ///
+    /// Any in-flight rendezvous completes immediately with
+    /// [`CollectiveError::RankFailed`] on every participant, blocked mesh
+    /// receivers wake and fail promptly, and later collectives on the
+    /// un-shrunk group keep failing with the culprit until the survivors
+    /// [`Elastic::shrink`] to a new epoch.
+    pub fn mark_dead(&self, rank: usize) {
+        let Some(flag) = self.shared.dead.get(rank) else {
+            return;
+        };
+        flag.store(true, Ordering::Relaxed);
+        {
+            let mut slot = self.shared.slot.lock();
+            match slot.phase {
+                Phase::Accumulating => {
+                    // Force-complete the wedged generation: everyone
+                    // waiting gets the failure instead of blocking on an
+                    // arrival that will never come.
+                    if slot.error.is_none() {
+                        slot.error = Some(CollectiveError::RankFailed(rank));
+                    }
+                    slot.phase = Phase::Ready;
+                    for d in &mut slot.departed {
+                        *d = false;
+                    }
+                }
+                Phase::Ready => {
+                    // The drain may have been blocked only on the rank
+                    // that just died — release the slot if so.
+                    if self.shared.all_accounted(&slot.departed) {
+                        slot.phase = Phase::Idle;
+                        slot.kind = None;
+                        slot.error = None;
+                    }
+                }
+                Phase::Idle => {}
+            }
+            self.shared.cv.notify_all();
+        }
+        {
+            let _mesh = self.shared.mesh.lock();
+            self.shared.mesh_cv.notify_all();
+        }
+    }
+
+    /// A second handle onto this rank's endpoint (same rank, same group
+    /// state) so the membership layer can own the base transport behind
+    /// an `Arc` while the caller keeps using the original.
+    fn clone_handle(&self) -> ThreadComm {
+        ThreadComm {
+            rank: self.rank,
+            shared: Arc::clone(&self.shared),
+            traffic: Arc::clone(&self.traffic),
+        }
     }
 
     /// Run the generic rendezvous. `contribute` runs under the lock when
@@ -155,15 +262,37 @@ impl ThreadComm {
         let shared = &*self.shared;
         let mut slot = shared.slot.lock();
 
-        // Wait for any previous operation to fully drain.
+        // A rank already declared dead observes its own death rather
+        // than participating in (and wedging) the survivors' rendezvous.
+        if shared.is_dead(self.rank) {
+            return Err(CollectiveError::RankFailed(self.rank));
+        }
+
+        // Wait for any previous operation to fully drain. If the draining
+        // generation failed with a dead rank, join its drain instead:
+        // the group is broken until the survivors shrink, and waiting for
+        // a full complement of departures would deadlock (participants of
+        // the failed generation have already moved on to reconfiguring).
         while slot.phase == Phase::Ready {
+            if let Some(e @ CollectiveError::RankFailed(_)) = slot.error {
+                slot.departed[self.rank] = true;
+                if shared.all_accounted(&slot.departed) {
+                    slot.phase = Phase::Idle;
+                    slot.kind = None;
+                    slot.error = None;
+                    shared.cv.notify_all();
+                }
+                return Err(e);
+            }
             shared.cv.wait(&mut slot);
         }
 
         if slot.phase == Phase::Idle {
             slot.phase = Phase::Accumulating;
             slot.kind = Some(kind);
-            slot.arrived = 0;
+            for a in &mut slot.arrived {
+                *a = false;
+            }
             slot.acc.clear();
             for p in &mut slot.payloads {
                 p.clear();
@@ -183,16 +312,29 @@ impl ThreadComm {
                 slot.error = Some(e);
             }
         }
-        slot.arrived += 1;
+        slot.arrived[self.rank] = true;
 
-        if slot.arrived == shared.size {
+        // Dead ranks can never arrive or depart: they count as virtual
+        // participants so the survivors' generation still completes — with
+        // RankFailed instead of a result. The per-rank masks make this
+        // exact: a rank that contributed and died later is one
+        // participant, not two. An unfenced dead member also dooms the
+        // generation outright: complete it with the culprit immediately
+        // rather than waiting for live peers, who may have stopped
+        // issuing collectives and moved on to membership agreement.
+        let doomed = shared.first_unfenced_dead();
+        if doomed.is_some() || shared.all_accounted(&slot.arrived) {
             if slot.error.is_none() {
-                if let Err(e) = complete(&mut slot) {
+                if let Some(d) = doomed {
+                    slot.error = Some(CollectiveError::RankFailed(d));
+                } else if let Err(e) = complete(&mut slot) {
                     slot.error = Some(e);
                 }
             }
             slot.phase = Phase::Ready;
-            slot.departed = 0;
+            for d in &mut slot.departed {
+                *d = false;
+            }
             shared.cv.notify_all();
         } else {
             while slot.phase != Phase::Ready {
@@ -204,8 +346,8 @@ impl ThreadComm {
             Some(e) => Err(e),
             None => Ok(extract(&slot)),
         };
-        slot.departed += 1;
-        if slot.departed == shared.size {
+        slot.departed[self.rank] = true;
+        if shared.all_accounted(&slot.departed) {
             slot.phase = Phase::Idle;
             slot.kind = None;
             slot.error = None;
@@ -261,6 +403,13 @@ impl Transport for ThreadComm {
                     return Ok(msg);
                 }
             }
+            // A collective cannot complete once *any* unfenced group
+            // member is gone: fail promptly with the culprit instead of
+            // burning the deadline (fenced ranks belong to previous
+            // epochs and don't count).
+            if let Some(culprit) = self.shared.first_unfenced_dead() {
+                return Err(CollectiveError::RankFailed(culprit));
+            }
             let now = Instant::now();
             if now >= deadline {
                 return Err(CollectiveError::Timeout {
@@ -269,6 +418,89 @@ impl Transport for ThreadComm {
             }
             self.shared.mesh_cv.wait_for(&mut mesh, deadline - now);
         }
+    }
+}
+
+impl Membership for ThreadComm {
+    fn observed_dead(&self) -> Vec<usize> {
+        (0..self.shared.size)
+            .filter(|&r| {
+                self.shared.dead[r].load(Ordering::Relaxed)
+                    && !self.shared.fenced[r].load(Ordering::Relaxed)
+            })
+            .collect()
+    }
+
+    fn mark_dead(&self, original: usize) {
+        ThreadComm::mark_dead(self, original);
+    }
+
+    fn fence(&self, dead: &[usize], new_epoch: u64) {
+        for &d in dead {
+            if let Some(flag) = self.shared.dead.get(d) {
+                flag.store(true, Ordering::Relaxed);
+                self.shared.fenced[d].store(true, Ordering::Relaxed);
+            }
+        }
+        let fenced: Vec<bool> = self
+            .shared
+            .fenced
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .collect();
+        let mut mesh = self.shared.mesh.lock();
+        // Purge this rank's inbound mailboxes of anything from a fenced
+        // peer or stamped with a pre-shrink epoch; other ranks purge
+        // their own when they fence.
+        let me = self.rank;
+        mesh.retain(|&(from, to, tag), _| {
+            to != me || (!fenced[from] && (tag & CTRL_BIT != 0 || tag_epoch(tag) >= new_epoch))
+        });
+        self.shared.mesh_cv.notify_all();
+    }
+
+    fn recv_deadline(
+        &self,
+        from: usize,
+        tag: u64,
+        deadline: Instant,
+    ) -> Result<Vec<f32>, CollectiveError> {
+        let key = (from, self.rank, tag);
+        let mut mesh = self.shared.mesh.lock();
+        loop {
+            if let Some(q) = mesh.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    if q.is_empty() {
+                        mesh.remove(&key);
+                    }
+                    return Ok(msg);
+                }
+            }
+            if self.shared.is_dead(from) {
+                return Err(CollectiveError::RankFailed(from));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CollectiveError::Timeout { waited_ms: 0 });
+            }
+            self.shared.mesh_cv.wait_for(&mut mesh, deadline - now);
+        }
+    }
+}
+
+impl Elastic for ThreadComm {
+    type Shrunk = ShrunkComm<ThreadComm>;
+
+    fn shrink(&self, dead_hint: &[usize]) -> Result<ShrunkComm<ThreadComm>, CollectiveError> {
+        let base = Arc::new(self.clone_handle());
+        let view = GroupView::boot(self.rank, self.shared.size);
+        let next = agree_on_survivors(base.as_ref(), &view, dead_hint, AGREEMENT_DEADLINE)?;
+        let policy = AlgoPolicy::try_from_env().unwrap_or_default();
+        Ok(ShrunkComm::new(base, next, policy))
+    }
+
+    fn epoch(&self) -> u64 {
+        0
     }
 }
 
@@ -671,5 +903,96 @@ mod tests {
         let g = comms[0].allgather(&buf);
         assert_eq!(g, vec![vec![5.0]]);
         comms[0].barrier();
+    }
+
+    #[test]
+    fn collectives_fail_promptly_with_the_culprit_after_mark_dead() {
+        let results = run_group(3, |rank, comm| {
+            // One clean round so the death lands mid-stream.
+            let mut buf = vec![rank as f32];
+            comm.try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient)
+                .unwrap();
+            if rank == 2 {
+                comm.mark_dead(2);
+                return Vec::new();
+            }
+            // Both the in-flight and every subsequent collective on the
+            // un-shrunk group must surface the culprit, not hang.
+            let mut errs = Vec::new();
+            for _ in 0..3 {
+                let mut buf = vec![rank as f32];
+                let e = comm
+                    .try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient)
+                    .unwrap_err();
+                errs.push(e);
+            }
+            errs
+        });
+        for (rank, errs) in results.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            assert_eq!(errs.len(), 3);
+            for e in errs {
+                assert!(
+                    matches!(e, CollectiveError::RankFailed(2)),
+                    "rank {rank} got {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_dead_rank_observes_its_own_death() {
+        let comms = ThreadComm::create(2);
+        comms[1].mark_dead(1);
+        let mut buf = vec![1.0];
+        let e = comms[1]
+            .try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient)
+            .unwrap_err();
+        assert!(matches!(e, CollectiveError::RankFailed(1)));
+    }
+
+    /// Regression for the drain race that stranded a survivor: a rank
+    /// that departs a completed generation and *then* dies must not be
+    /// double-counted (once as departed, once as dead) — that released
+    /// the slot one departure early and left the slowest survivor
+    /// waiting on a generation that no longer existed. Many repetitions
+    /// because the bug needs the victim's death to land mid-drain.
+    #[test]
+    fn death_between_generations_does_not_strand_a_survivor() {
+        for round in 0..25 {
+            let kill_rank = 1 + (round % 3);
+            let results = run_group(4, |rank, comm| {
+                for r in 0..3 {
+                    let mut buf = vec![rank as f32];
+                    comm.try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient)
+                        .unwrap();
+                    assert_eq!(buf[0], 6.0, "pre-kill round {r}");
+                }
+                if rank == kill_rank {
+                    comm.mark_dead(kill_rank);
+                    return None;
+                }
+                let mut buf = vec![rank as f32];
+                let e = comm
+                    .try_allreduce_tagged(&mut buf, ReduceOp::Sum, TrafficClass::Gradient)
+                    .unwrap_err();
+                assert!(matches!(e, CollectiveError::RankFailed(r) if r == kill_rank));
+                // The survivors shrink to a working, epoch-fenced group.
+                let shrunk = comm.shrink(&[kill_rank]).expect("membership agreement");
+                assert_eq!(shrunk.view().epoch, 1);
+                assert_eq!(shrunk.size(), 3);
+                let mut buf = vec![shrunk.rank() as f32];
+                shrunk.allreduce(&mut buf, ReduceOp::Sum);
+                assert_eq!(buf[0], 3.0); // 0 + 1 + 2
+                let gathered = shrunk.allgather(&[shrunk.rank() as f32]);
+                assert_eq!(gathered.len(), 3);
+                Some(shrunk.rank())
+            });
+            let mut new_ranks: Vec<usize> = results.into_iter().flatten().collect();
+            new_ranks.sort_unstable();
+            assert_eq!(new_ranks, vec![0, 1, 2], "kill {kill_rank}");
+        }
     }
 }

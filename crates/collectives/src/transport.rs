@@ -45,17 +45,64 @@ const IDX_BITS: u32 = 20;
 /// Bits of the tag reserved for the algorithm phase.
 const PHASE_BITS: u32 = 4;
 
+/// Bits of the tag carrying collective payload (`op_seq`/phase/idx). The
+/// top ten bits are reserved for the membership plane: 8 epoch bits and
+/// the control-frame namespace.
+pub const PAYLOAD_BITS: u32 = 54;
+/// Mask selecting the payload portion of a tag.
+pub const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+/// Bit offset of the membership epoch within a data tag.
+pub const EPOCH_SHIFT: u32 = PAYLOAD_BITS;
+/// Width of the epoch field; epochs fence modulo 256, far beyond any
+/// realistic number of shrink events in one run.
+pub const EPOCH_BITS: u32 = 8;
+/// Control-plane namespace flag (heartbeats, membership agreement).
+/// Control frames never collide with data tags of any epoch.
+pub const CTRL_BIT: u64 = 1 << 63;
+
 /// Pack `(op_seq, phase, idx)` into one wire tag.
 ///
 /// `op_seq` is a per-endpoint collective sequence number (every rank issues
 /// the same collective sequence, so sequence numbers agree group-wide),
 /// `phase` separates stages within one collective (reduce vs broadcast legs
 /// of the ring), and `idx` is the chunk or round index within a phase.
-/// 2^20 chunks × 2^4 phases leaves 2^40 collectives before wraparound.
+/// 2^20 chunks × 2^4 phases leaves 2^30 collectives inside the 54-bit
+/// payload field before wraparound.
 pub fn make_tag(op_seq: u64, phase: u8, idx: u32) -> u64 {
     debug_assert!(idx < (1 << IDX_BITS));
     debug_assert!((phase as u32) < (1 << PHASE_BITS));
-    (op_seq << (IDX_BITS + PHASE_BITS)) | ((phase as u64) << IDX_BITS) | idx as u64
+    ((op_seq << (IDX_BITS + PHASE_BITS)) | ((phase as u64) << IDX_BITS) | idx as u64) & PAYLOAD_MASK
+}
+
+/// Stamp a data tag with a membership epoch.
+///
+/// Epoch 0 (the boot group) maps every tag to itself, so a run that never
+/// shrinks is bitwise identical on the wire to a build without fencing.
+/// After a shrink, survivors stamp the new epoch into every frame and
+/// receivers key their mailboxes on the stamped tag — a straggler's
+/// old-epoch frame can never match a new-epoch receive.
+pub fn fence_tag(epoch: u64, tag: u64) -> u64 {
+    ((epoch & ((1 << EPOCH_BITS) - 1)) << EPOCH_SHIFT) | (tag & PAYLOAD_MASK)
+}
+
+/// Extract the epoch stamp from a data tag.
+pub fn tag_epoch(tag: u64) -> u64 {
+    (tag >> EPOCH_SHIFT) & ((1 << EPOCH_BITS) - 1)
+}
+
+/// Control tag: periodic liveness heartbeat (payload ignored).
+pub const TAG_HEARTBEAT: u64 = CTRL_BIT | (3 << 40);
+
+/// Control tag: membership-agreement PROPOSE carrying a dead-rank mask
+/// for the round that forms `epoch`.
+pub fn propose_tag(epoch: u64) -> u64 {
+    CTRL_BIT | (1 << 40) | (epoch & 0xffff_ffff)
+}
+
+/// Control tag: membership-agreement COMMIT carrying the final dead-rank
+/// mask for the round that forms `epoch`.
+pub fn commit_tag(epoch: u64) -> u64 {
+    CTRL_BIT | (2 << 40) | (epoch & 0xffff_ffff)
 }
 
 #[cfg(test)]
@@ -72,5 +119,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn epoch_zero_fencing_is_identity() {
+        for seq in 0..16u64 {
+            for phase in 0..4u8 {
+                let t = make_tag(seq, phase, 7);
+                assert_eq!(fence_tag(0, t), t);
+                assert_eq!(tag_epoch(fence_tag(0, t)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fenced_tags_differ_across_epochs_and_round_trip() {
+        let t = make_tag(9, 2, 3);
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..8u64 {
+            let f = fence_tag(epoch, t);
+            assert!(seen.insert(f));
+            assert_eq!(tag_epoch(f), epoch);
+            assert_eq!(f & PAYLOAD_MASK, t);
+        }
+    }
+
+    #[test]
+    fn control_tags_never_collide_with_fenced_data_tags() {
+        let data = fence_tag(255, make_tag(u64::MAX >> 34, 15, (1 << 20) - 1));
+        assert_eq!(data & CTRL_BIT, 0);
+        for ctrl in [TAG_HEARTBEAT, propose_tag(7), commit_tag(7)] {
+            assert_ne!(ctrl & CTRL_BIT, 0);
+        }
+        assert_ne!(propose_tag(3), commit_tag(3));
+        assert_ne!(propose_tag(3), propose_tag(4));
     }
 }

@@ -66,7 +66,8 @@ pub mod preconditioner;
 pub mod stats;
 
 pub use config::{
-    DistStrategy, EigenSolver, InversionMethod, KfacConfig, PlacementPolicy, RandEigPolicy,
+    ConfigError, DistStrategy, EigenSolver, InversionMethod, KfacConfig, PlacementPolicy,
+    RandEigPolicy,
 };
 pub use distribution::{assign_factors, factor_descs, FactorDesc, FactorKind};
 pub use preconditioner::Kfac;

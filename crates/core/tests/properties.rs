@@ -170,4 +170,76 @@ proptest! {
             prop_assert_eq!(o, li % world);
         }
     }
+
+    /// Elastic shrink contract: after any single rank of worlds 2–8 is
+    /// removed and the survivors re-rank contiguously, recomputing the
+    /// factor assignment at the new world size is **total** (every
+    /// factor owned exactly once), **contiguous** (owners fall in
+    /// `0..world-1`, with every surviving rank used when there are
+    /// enough factors), and **deterministic in the new size alone** —
+    /// survivors agree bitwise no matter which rank died, without
+    /// communicating. Shrink-world recovery restores from a checkpoint
+    /// and recomputes assignments locally; this is the property that
+    /// makes that sound.
+    #[test]
+    fn factor_assignment_remaps_cleanly_under_any_single_rank_removal(
+        dims in proptest::collection::vec((1usize..128, 1usize..128), 1..16),
+        world in 2usize..9,
+    ) {
+        let factors = factor_descs(&dims);
+        for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::SizeBalanced] {
+            let boot = assign_factors(policy, &factors, world);
+            let mut shrunk_views = Vec::new();
+            for removed in 0..world {
+                // Each survivor recomputes from only (factors, new world).
+                let remapped = assign_factors(policy, &factors, world - 1);
+                // Total: every factor assigned exactly once.
+                prop_assert_eq!(remapped.len(), factors.len());
+                // Contiguous: owners are valid new ranks…
+                prop_assert!(remapped.iter().all(|&r| r < world - 1));
+                // …and no surviving rank is idle when work suffices.
+                if factors.len() >= world - 1 {
+                    for r in 0..world - 1 {
+                        prop_assert!(
+                            remapped.contains(&r),
+                            "rank {} idle after removing {} (policy {:?})",
+                            r, removed, policy
+                        );
+                    }
+                }
+                shrunk_views.push(remapped);
+            }
+            // Removal-invariant + deterministic: every survivor lands on
+            // the identical assignment regardless of which rank died.
+            for v in &shrunk_views[1..] {
+                prop_assert_eq!(v, &shrunk_views[0]);
+            }
+            // And the boot assignment itself is reproducible (survivors
+            // recomputing the *old* view for fencing agree too).
+            prop_assert_eq!(&boot, &assign_factors(policy, &factors, world));
+        }
+    }
+
+    /// The same shrink contract for the layer-wise strategy.
+    #[test]
+    fn lw_assignment_remaps_cleanly_under_any_single_rank_removal(
+        num_layers in 1usize..64,
+        world in 2usize..9,
+    ) {
+        let mut shrunk_views = Vec::new();
+        for _removed in 0..world {
+            let remapped = assign_layers_lw(num_layers, world - 1);
+            prop_assert_eq!(remapped.len(), num_layers);
+            prop_assert!(remapped.iter().all(|&r| r < world - 1));
+            if num_layers >= world - 1 {
+                for r in 0..world - 1 {
+                    prop_assert!(remapped.contains(&r));
+                }
+            }
+            shrunk_views.push(remapped);
+        }
+        for v in &shrunk_views[1..] {
+            prop_assert_eq!(v, &shrunk_views[0]);
+        }
+    }
 }

@@ -12,6 +12,7 @@
 //! | [`fig10`] | Fig. 10 — factor computation time vs model size (measured + projected) |
 //! | [`overlap`] | §V — overlapped vs sequential execution (measured + projected) |
 //! | [`chaos`] | fault matrix — resilient 4-rank training under injected faults |
+//! | [`elastic`] | elastic membership — kill a rank mid-run, shrink, bitwise resume |
 //! | [`randeig`] | randomized vs exact eigensolver — 4-rank CIFAR loss parity |
 //!
 //! Each driver returns an [`ExperimentOutput`] of markdown tables plus
@@ -21,6 +22,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod correctness;
+pub mod elastic;
 pub mod fig10;
 pub mod fig5;
 pub mod freq;
@@ -81,6 +83,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablations",
     "overlap",
     "chaos",
+    "elastic",
     "randeig",
 ];
 
@@ -101,6 +104,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "ablations" => Some(ablations::run(scale)),
         "overlap" => Some(overlap::run(scale)),
         "chaos" => Some(chaos::run(scale)),
+        "elastic" => Some(elastic::run(scale)),
         "randeig" => Some(randeig::run(scale)),
         _ => None,
     }

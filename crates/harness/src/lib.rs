@@ -9,7 +9,11 @@
 //!   K-FAC preconditioning, sharded validation.
 //! * [`resilient`] — fault-tolerant iterations: retry, stale-factor and
 //!   identity-preconditioner degradation, skipped steps, checkpoints.
-//! * [`checkpoint`] — bitwise-resumable training-state serialization.
+//! * [`elastic`] — shrink-world recovery trials: kill a rank mid-run,
+//!   fence it behind a membership epoch, restore the checkpoint on the
+//!   survivors, and verify the trajectory bitwise (`xp elastic`).
+//! * [`checkpoint`] — bitwise-resumable training-state serialization
+//!   with atomic on-disk persistence.
 //! * [`presets`] — CPU-tractable stand-ins for the paper's
 //!   CIFAR-10/ResNet-32 and ImageNet/ResNet-50 setups at three scales
 //!   (smoke/quick/full), preserving the paper's budget ratios.
@@ -31,6 +35,7 @@
 pub mod bencheig;
 pub mod benchkernels;
 pub mod checkpoint;
+pub mod elastic;
 pub mod experiments;
 pub mod overlap;
 pub mod presets;

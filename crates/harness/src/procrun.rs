@@ -4,7 +4,7 @@
 //! re-executes the current binary once per rank with the
 //! `KFAC_PROC_*` rendezvous env set plus a `KFAC_PROC_JOB` selector, and
 //! `worker_main` (invoked by `xp`'s `main` whenever `KFAC_PROC_RANK` is
-//! present) joins the TCP mesh and dispatches the job. Two jobs exist:
+//! present) joins the TCP mesh and dispatches the job. Three jobs exist:
 //!
 //! * `bench-allreduce` — the allreduce microbenchmark behind
 //!   `xp bench-allreduce`: every rank drives the same op sequence, rank 0
@@ -20,6 +20,11 @@
 //!   `proc_train` integration test compares this byte-for-byte against
 //!   the in-process `ThreadComm` run — the end-to-end witness that both
 //!   fabrics compute the same training trajectory.
+//! * `train-elastic` — the shrink-world recovery trial behind
+//!   `xp elastic`: the victim rank exits cold mid-run, the survivors'
+//!   failure detector fences it behind a new membership epoch, and
+//!   training resumes from the latest checkpoint on the smaller world
+//!   (see [`crate::elastic`]).
 
 use crate::trainer::{train_with_comm, TrainConfig, TrainResult};
 use kfac::KfacConfig;
@@ -107,8 +112,11 @@ pub fn worker_main() -> i32 {
     match job.as_str() {
         "bench-allreduce" => bench_worker(&comm),
         "train-cifar" => train_worker(&comm),
+        "train-elastic" => crate::elastic::proc_elastic_worker(&comm),
         other => {
-            eprintln!("unknown {JOB_ENV}={other:?} (expected bench-allreduce|train-cifar)");
+            eprintln!(
+                "unknown {JOB_ENV}={other:?} (expected bench-allreduce|train-cifar|train-elastic)"
+            );
             2
         }
     }
@@ -473,6 +481,54 @@ pub fn run_proc_train(ranks: usize) -> io::Result<String> {
         return Err(io::Error::other("proc-train rank 0 produced no summary"));
     }
     Ok(summary)
+}
+
+/// Outcome of a proc-fabric elastic trial: rank 0's summary line plus
+/// the restore blob the survivors used (for the reference run).
+pub struct ProcElasticOutcome {
+    /// The `elastic_summary_json` line the surviving rank 0 printed.
+    pub summary: String,
+    /// The checkpoint blob the survivors restored from.
+    pub checkpoint: Vec<u8>,
+}
+
+/// Launcher half of the proc-fabric elastic trial: spawn the world with
+/// the scenario in `KFAC_ELASTIC_*`, let the victim die cold, collect
+/// the surviving rank 0's summary and the persisted restore blob. The
+/// victim's deliberate exit is also status 0, so any failure is real.
+pub fn run_proc_elastic(spec: &crate::elastic::ElasticSpec) -> io::Result<ProcElasticOutcome> {
+    spec.validate().map_err(io::Error::other)?;
+    let ckpt_path =
+        std::env::temp_dir().join(format!("kfac-elastic-restore-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt_path);
+    let mut env = spec.to_env();
+    env.push((
+        "KFAC_ELASTIC_CKPT".to_string(),
+        ckpt_path.display().to_string(),
+    ));
+    let outputs = spawn_world(spec.world, "train-elastic", &env)?;
+    for (rank, out) in outputs.iter().enumerate() {
+        if !out.status.success() {
+            return Err(io::Error::other(format!(
+                "train-elastic worker rank {rank} exited with {}",
+                out.status
+            )));
+        }
+    }
+    let summary = String::from_utf8_lossy(&outputs[0].stdout)
+        .trim()
+        .to_string();
+    if summary.is_empty() {
+        return Err(io::Error::other(
+            "train-elastic rank 0 produced no summary — did the survivors recover?",
+        ));
+    }
+    let checkpoint = crate::checkpoint::load_from_file(&ckpt_path)?;
+    let _ = std::fs::remove_file(&ckpt_path);
+    Ok(ProcElasticOutcome {
+        summary,
+        checkpoint,
+    })
 }
 
 #[cfg(test)]

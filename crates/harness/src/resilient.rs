@@ -19,10 +19,19 @@
 //! 4. **Skipped step** — non-finite loss or non-finite/absurd gradients
 //!    (silent bit-flip corruption that slipped past the factor guards)
 //!    skip the optimizer step entirely (`train/skipped_steps`).
-//! 5. **Abort + checkpoint** — a permanent rank loss ends the run with
-//!    [`StepOutcome::RankLost`]; the caller restores the latest
-//!    checkpoint (see [`checkpoint`](crate::checkpoint)) on a surviving
-//!    group and resumes bitwise.
+//! 5. **Shrink-world resume** — a permanent rank loss surfaces as
+//!    [`StepOutcome::RankLost`]; when the surviving ranks can still
+//!    agree on a membership view, the caller shrinks the group
+//!    ([`Elastic::shrink`](kfac_collectives::Elastic)), restores the
+//!    latest checkpoint on the new epoch, and continues on the smaller
+//!    world (see [`elastic`](crate::elastic); counted in
+//!    `train/shrink_resumes` via
+//!    [`note_shrink_resume`](ResilientTrainer::note_shrink_resume)).
+//! 6. **Abort + checkpoint** — when membership agreement itself fails
+//!    (coordinator unreachable, agreement deadline exceeded) the run
+//!    ends; the caller restores the latest checkpoint (see
+//!    [`checkpoint`](crate::checkpoint)) on a fresh group and resumes
+//!    bitwise.
 //!
 //! A failed *gradient* allreduce is not recoverable by staleness (the
 //! step needs this batch's gradients), so it lands on rung 4: the whole
@@ -69,7 +78,8 @@ pub enum StepOutcome {
     /// unhealthy gradients); parameters are unchanged.
     SkippedStep,
     /// A rank was lost permanently; training cannot continue on this
-    /// group. Restore the latest checkpoint on a fresh group.
+    /// group. Shrink the group and resume from the latest checkpoint
+    /// (rung 5), or abort to a fresh group (rung 6) if agreement fails.
     RankLost(usize),
 }
 
@@ -150,9 +160,10 @@ impl ResilientTrainer {
     ///
     /// Critical findings translate to the same typed signals
     /// [`step`](Self::step) produces: a critical non-finite or
-    /// retry-rate finding recommends skipping the next step (rung 4), a
-    /// critical heartbeat stall recommends aborting to the latest
-    /// checkpoint (rung 5, reported as this rank's own loss). Warnings
+    /// retry-rate finding recommends skipping the next step (rung 4); a
+    /// critical heartbeat stall or dead-peer finding recommends leaving
+    /// this group for the shrink/abort rungs (5–6, reported as this
+    /// rank's own loss so every survivor reacts identically). Warnings
     /// and critical staleness don't escalate — staleness *is* the
     /// degradation (rung 2) — but any critical finding dumps the flight
     /// recorder so the run leaves evidence.
@@ -169,7 +180,9 @@ impl ResilientTrainer {
             .filter(|f| f.severity == Severity::Critical)
         {
             match f.rule {
-                RuleKind::HeartbeatStall => return Some(StepOutcome::RankLost(own_rank)),
+                RuleKind::HeartbeatStall | RuleKind::PeerDead => {
+                    return Some(StepOutcome::RankLost(own_rank))
+                }
                 RuleKind::NonFinite | RuleKind::RetryRate => {
                     outcome = Some(StepOutcome::SkippedStep);
                 }
@@ -177,6 +190,28 @@ impl ResilientTrainer {
             }
         }
         outcome
+    }
+
+    /// Record a completed shrink-world resume (rung 5): the surviving
+    /// ranks fenced the dead, re-formed at membership `epoch`, and
+    /// restored the latest checkpoint. Bumps `train/shrink_resumes`,
+    /// publishes the new epoch to the
+    /// [`comm/membership_epoch`](kfac_telemetry::watchdog::names::MEMBERSHIP_EPOCH)
+    /// gauge, clears
+    /// [`comm/dead_peers`](kfac_telemetry::watchdog::names::DEAD_PEERS)
+    /// (fencing resolved them), and dumps the flight recorder so the
+    /// reconfiguration leaves evidence.
+    pub fn note_shrink_resume(&mut self, epoch: u64) {
+        if let Some((registry, _)) = &self.telemetry {
+            registry.counter("train/shrink_resumes").inc();
+            registry
+                .gauge(kfac_telemetry::watchdog::names::MEMBERSHIP_EPOCH)
+                .set(epoch as f64);
+            registry
+                .gauge(kfac_telemetry::watchdog::names::DEAD_PEERS)
+                .set(0.0);
+        }
+        self.dump_recorder(&format!("shrink_resume_epoch_{epoch}"));
     }
 
     /// Run one training iteration under the degradation ladder.
@@ -553,11 +588,33 @@ mod tests {
             tr.apply_watchdog(&report(RuleKind::StalenessCeiling, Severity::Critical)),
             None
         );
-        // A stall aborts, reported as this rank's own loss.
+        // A stall or dead peer leaves the group, reported as this
+        // rank's own loss so every survivor reacts identically.
         assert_eq!(
             tr.apply_watchdog(&report(RuleKind::HeartbeatStall, Severity::Critical)),
             Some(StepOutcome::RankLost(3))
         );
+        assert_eq!(
+            tr.apply_watchdog(&report(RuleKind::PeerDead, Severity::Critical)),
+            Some(StepOutcome::RankLost(3))
+        );
+    }
+
+    /// A shrink resume bumps its counter, publishes the new membership
+    /// epoch, and clears the dead-peer gauge the watchdog alarms on.
+    #[test]
+    fn shrink_resume_updates_membership_telemetry() {
+        use kfac_telemetry::watchdog::names;
+        let registry = kfac_telemetry::Registry::new();
+        let _guard = registry.install(0);
+        registry.gauge(names::DEAD_PEERS).set(1.0);
+        let mut tr = ResilientTrainer::new(FaultTolerance::default());
+        tr.note_shrink_resume(2);
+        let gauges: std::collections::HashMap<_, _> = registry.gauges().into_iter().collect();
+        assert_eq!(gauges[names::MEMBERSHIP_EPOCH], 2.0);
+        assert_eq!(gauges[names::DEAD_PEERS], 0.0);
+        let counters: std::collections::HashMap<_, _> = registry.counters().into_iter().collect();
+        assert_eq!(counters["train/shrink_resumes"], 1);
     }
 
     /// A skipped step with a recorder attached snapshots the metrics and

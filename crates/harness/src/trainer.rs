@@ -85,10 +85,14 @@ impl TrainConfig {
     /// Attach a K-FAC preconditioner. A `KFAC_EIG_BACKEND` env knob
     /// (jacobi|tridiag|randomized) overrides the configured eigensolver
     /// here, so any experiment can be re-run under a different factor
-    /// backend without a rebuild; an unparseable value panics.
+    /// backend without a rebuild; an unparseable value panics here at
+    /// the binary boundary (the parse itself returns a typed
+    /// [`kfac::ConfigError`] for fallible callers).
     pub fn with_kfac(mut self, mut cfg: KfacConfig) -> Self {
-        if let Some(solver) = kfac::EigenSolver::from_env() {
-            cfg.eigen_solver = solver;
+        match kfac::EigenSolver::from_env() {
+            Ok(Some(solver)) => cfg.eigen_solver = solver,
+            Ok(None) => {}
+            Err(e) => panic!("{e}"),
         }
         self.kfac = Some(cfg);
         self
