@@ -14,6 +14,8 @@
 use crate::communicator::{Communicator, ReduceOp};
 use crate::handle::CollectiveError;
 use crate::traffic::TrafficClass;
+use crate::wire;
+use kfac_tensor::half::Dtype;
 
 /// Horovod's default fusion threshold (§II-D cites 16–32 MB).
 pub const DEFAULT_FUSION_BYTES: usize = 16 << 20;
@@ -71,6 +73,11 @@ pub struct FusionBuffer {
     threshold_bytes: usize,
     op: ReduceOp,
     class: TrafficClass,
+    /// Wire width of the fused collective. Threshold accounting uses
+    /// this dtype's element size — a bf16 buffer holds twice the
+    /// elements per flush, it does not flush at half the configured
+    /// bytes. Defaults to [`Dtype::F32`] (bitwise-identical behavior).
+    dtype: Dtype,
     pending: Vec<Pending>,
     pending_bytes: usize,
     done: Vec<(usize, Vec<f32>)>,
@@ -84,10 +91,28 @@ impl FusionBuffer {
             threshold_bytes,
             op,
             class,
+            dtype: Dtype::F32,
             pending: Vec::new(),
             pending_bytes: 0,
             done: Vec::new(),
         }
+    }
+
+    /// Set the wire dtype (builder-style). Half dtypes route the fused
+    /// collective through [`wire::try_allreduce_half`], halving wire
+    /// bytes; [`Dtype::F32`] keeps the plain allreduce path bit for bit.
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        assert!(
+            self.pending.is_empty(),
+            "wire dtype must be set before tensors are queued"
+        );
+        self.dtype = dtype;
+        self
+    }
+
+    /// The wire dtype fused collectives are sent at.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
     }
 
     /// Buffer with the threshold resolved by [`resolve_threshold`]:
@@ -110,7 +135,11 @@ impl FusionBuffer {
     /// same order with the same sizes, so automatic flushes fire at the
     /// same point on every rank.
     pub fn push(&mut self, id: usize, data: Vec<f32>, comm: &dyn Communicator) {
-        self.pending_bytes += data.len() * std::mem::size_of::<f32>();
+        // Threshold accounting at the *wire* width: the historical math
+        // hard-coded 4-byte elements, making bf16 payloads flush at 2×
+        // the configured threshold. All byte accounting now routes
+        // through `Dtype::size_of`.
+        self.pending_bytes += data.len() * self.dtype.size_of();
         self.pending.push(Pending { id, data });
         if self.pending_bytes >= self.threshold_bytes {
             self.flush(comm);
@@ -152,7 +181,9 @@ impl FusionBuffer {
         }
         // One bandwidth-bound collective instead of many latency-bound
         // ones. On failure, return before touching pending state.
-        comm.try_allreduce_tagged(&mut fused, self.op, self.class)?;
+        // `try_allreduce_half` with `Dtype::F32` is exactly the plain
+        // tagged allreduce; half dtypes send packed half-width words.
+        wire::try_allreduce_half(comm, &mut fused, self.op, self.class, self.dtype)?;
         // Unpack: only now is the pending queue consumed.
         let mut offset = 0;
         for p in self.pending.drain(..) {
@@ -201,6 +232,60 @@ mod tests {
         fb.push(1, vec![2.0, 3.0], &comm); // 12 bytes reached → flush
         assert_eq!(fb.pending_len(), 0);
         assert_eq!(fb.take_completed().len(), 2);
+    }
+
+    #[test]
+    fn bf16_threshold_accounts_wire_width() {
+        let comm = LocalComm::new();
+        // Threshold of 12 bytes = 6 bf16 elements on the wire. The old
+        // 4-byte-element math would have flushed at 3 elements.
+        let mut fb =
+            FusionBuffer::new(12, ReduceOp::Sum, TrafficClass::Factor).with_dtype(Dtype::Bf16);
+        fb.push(0, vec![1.0; 3], &comm);
+        assert_eq!(fb.pending_len(), 1, "3 bf16 elements = 6 bytes < 12");
+        fb.push(1, vec![2.0; 3], &comm); // 12 wire bytes reached → flush
+        assert_eq!(fb.pending_len(), 0);
+        assert_eq!(fb.take_completed().len(), 2);
+    }
+
+    #[test]
+    fn bf16_fused_reduce_matches_f32_within_tolerance() {
+        let comms = ThreadComm::create(4);
+        let f = |rank: usize, comm: &ThreadComm| {
+            let mut fb = FusionBuffer::new(usize::MAX, ReduceOp::Average, TrafficClass::Gradient)
+                .with_dtype(Dtype::Bf16);
+            let data: Vec<f32> = (0..64)
+                .map(|i| (rank + 1) as f32 * 0.125 * i as f32)
+                .collect();
+            fb.push(0, data, comm);
+            fb.flush(comm);
+            (fb.take_completed(), comm.traffic().gradient_bytes)
+        };
+        let results: Vec<_> = thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .iter()
+                .enumerate()
+                .map(|(rank, comm)| s.spawn(move || f(rank, comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let reference = results[0].0[0].1.clone();
+        for (done, bytes) in &results {
+            // All ranks agree bitwise (pinned rank-order fold).
+            assert_eq!(done[0].1, reference);
+            // Half-width payload: ceil(64/2)+1 length word, 4 bytes each.
+            assert_eq!(*bytes, (64 / 2 + 1) * 4);
+        }
+        // mean over ranks of (r+1)*0.125*i = 2.5*0.125*i; inputs are
+        // bf16-representable but the averaged value needn't be, so allow
+        // one bf16 ulp of slack.
+        for (i, v) in reference.iter().enumerate() {
+            let expect = 2.5 * 0.125 * i as f32;
+            assert!(
+                (v - expect).abs() <= expect.abs() / 128.0 + 1e-3,
+                "i={i} v={v} expect={expect}"
+            );
+        }
     }
 
     #[test]

@@ -57,6 +57,10 @@
 //!   permanent rank loss reconfigure and continue instead of aborting.
 //! * [`backend`] — [`CommBackend`], the one switch (`KFAC_COMM_BACKEND`)
 //!   that picks the fabric everywhere.
+//! * [`wire`] — half-width wire payloads: bf16/f16 encode/decode for
+//!   gradient fusion and factor/eigen exchange, halving measured bytes
+//!   on both fabrics with non-finite rejection on decode and per-dtype
+//!   byte accounting.
 
 pub mod algo;
 pub mod backend;
@@ -74,6 +78,7 @@ pub mod retry;
 pub mod thread;
 pub mod traffic;
 pub mod transport;
+pub mod wire;
 
 pub use algo::{AlgoComm, AlgoPolicy, CollectiveAlgo};
 pub use backend::CommBackend;
@@ -91,3 +96,4 @@ pub use retry::RetryPolicy;
 pub use thread::ThreadComm;
 pub use traffic::{Traffic, TrafficClass};
 pub use transport::Transport;
+pub use wire::{try_allgather_half, try_allreduce_half};

@@ -229,6 +229,10 @@ pub struct KfacConfig {
     /// implementation of the paper's stated future work to "reduce
     /// communication quantity" (§VII).
     pub triangular_factor_comm: bool,
+    /// Per-stage precision policy (storage and wire dtypes). The default
+    /// — f32 everywhere — is bitwise identical to builds predating the
+    /// mixed-precision substrate.
+    pub precision: crate::precision::PrecisionPolicy,
 }
 
 impl Default for KfacConfig {
@@ -248,6 +252,7 @@ impl Default for KfacConfig {
             damping_decay_factor: 0.5,
             update_freq_schedule: Vec::new(),
             triangular_factor_comm: true,
+            precision: crate::precision::PrecisionPolicy::default(),
         }
     }
 }
@@ -303,6 +308,7 @@ impl KfacConfig {
             self.rand_eig.max_rank_frac > 0.0 && self.rand_eig.max_rank_frac <= 1.0,
             "rand_eig.max_rank_frac must be in (0, 1]"
         );
+        self.precision.validate().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

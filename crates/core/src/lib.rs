@@ -55,6 +55,9 @@
 //! * [`distribution`] — round-robin factor placement (the paper's), the
 //!   layer-wise scheme of Osawa et al. \[6\] for K-FAC-lw, and the
 //!   size-balanced LPT policy the paper proposes as future work.
+//! * [`precision`] — [`PrecisionPolicy`]: per-stage dtype selection for
+//!   the mixed-precision substrate (bf16 storage / f32 accumulate, with
+//!   f32-everywhere as the bitwise-identical default).
 //! * [`preconditioner`] — [`Kfac`]: Algorithm 1 end-to-end over a
 //!   [`Communicator`](kfac_collectives::Communicator).
 //! * [`stats`] — per-stage timing (Table V / Fig. 10 instrumentation).
@@ -62,6 +65,7 @@
 pub mod config;
 pub mod distribution;
 pub mod math;
+pub mod precision;
 pub mod preconditioner;
 pub mod stats;
 
@@ -70,5 +74,6 @@ pub use config::{
     RandEigPolicy,
 };
 pub use distribution::{assign_factors, factor_descs, FactorDesc, FactorKind};
+pub use precision::PrecisionPolicy;
 pub use preconditioner::Kfac;
 pub use stats::StageStats;

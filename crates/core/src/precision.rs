@@ -1,0 +1,299 @@
+//! Per-stage precision policy for the mixed-precision substrate.
+//!
+//! The paper trains in mixed precision ("we use … mixed precision
+//! training", §V-B) but is silent on which K-FAC stages tolerate reduced
+//! width. [`PrecisionPolicy`] makes that an explicit, per-stage choice:
+//! each stage of the K-FAC pipeline (activation/gradient capture, factor
+//! Gram accumulation, the running-average EMA, eigendecomposition inputs,
+//! preconditioning inputs, and the two wire payloads) carries its own
+//! [`Dtype`]. The default is f32 everywhere, which is *bitwise identical*
+//! to the pre-policy behavior — mixed precision is strictly opt-in.
+//!
+//! Storage stages (`capture`, `factor_gram`, `factor_ema`, `eig`,
+//! `precond`) accept f32 or bf16: bf16 keeps f32's 8-bit exponent, so
+//! Gram accumulations and eigen-spectra keep their dynamic range and only
+//! give up mantissa. They reject f16 — its 5-bit exponent overflows at
+//! 65504, far below observed Gram diagonals. Wire stages (`grad_wire`,
+//! `factor_wire`) additionally accept f16, where the saturating encode in
+//! `kfac_collectives::wire` bounds the damage and the decode-side
+//! non-finite rejection catches true overflow.
+//!
+//! All kernels *accumulate* in f32 (or f64 for the compensated EMA)
+//! regardless of storage dtype — reduced precision here is a storage and
+//! wire format, never an accumulator format.
+
+use crate::config::ConfigError;
+use kfac_tensor::Dtype;
+
+/// Which dtype each K-FAC pipeline stage stores or transmits at.
+///
+/// Constructed via [`Default`] (f32 everywhere), [`PrecisionPolicy::bf16`]
+/// (the bf16-storage preset), or [`PrecisionPolicy::from_env`]
+/// (`KFAC_PRECISION`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrecisionPolicy {
+    /// Storage for captured activations / backprop gradients (for conv
+    /// layers this is the im2col column scratch itself). F32 | Bf16.
+    pub capture: Dtype,
+    /// Storage feeding the factor Gram kernels (`A = aᵀa/N`, `G`). Bf16
+    /// selects the bf16-packed f32-accumulate GEMM path. F32 | Bf16.
+    pub factor_gram: Dtype,
+    /// Storage of the running-average factors (Eq. 16–17). Bf16 stores
+    /// the EMA rounded to bf16 with an f64 residual compensation term so
+    /// the long-run average does not drift. F32 | Bf16.
+    pub factor_ema: Dtype,
+    /// Eigendecomposition *input* rounding: Bf16 rounds the averaged
+    /// factor to bf16 before the (f32/f64) eigensolver runs. F32 | Bf16.
+    pub eig: Dtype,
+    /// Preconditioning-stage input rounding for the Eq. 13–15 GEMMs.
+    /// F32 | Bf16.
+    pub precond: Dtype,
+    /// Wire format of the fused gradient allreduce. F32 | Bf16 | F16.
+    pub grad_wire: Dtype,
+    /// Wire format of the factor allreduce and eigen allgather payloads.
+    /// F32 | Bf16 | F16.
+    pub factor_wire: Dtype,
+}
+
+/// `(field name, wire stage?)` — the parse/validate/display table.
+const STAGES: [(&str, bool); 7] = [
+    ("capture", false),
+    ("factor_gram", false),
+    ("factor_ema", false),
+    ("eig", false),
+    ("precond", false),
+    ("grad_wire", true),
+    ("factor_wire", true),
+];
+
+impl PrecisionPolicy {
+    /// The f32-everywhere policy: bitwise identical to a build without
+    /// any precision plumbing.
+    pub fn f32() -> Self {
+        PrecisionPolicy::default()
+    }
+
+    /// The bf16-storage preset: bf16 capture, Gram, EMA storage, eig and
+    /// precond inputs, and bf16 on both wires.
+    pub fn bf16() -> Self {
+        PrecisionPolicy {
+            capture: Dtype::Bf16,
+            factor_gram: Dtype::Bf16,
+            factor_ema: Dtype::Bf16,
+            eig: Dtype::Bf16,
+            precond: Dtype::Bf16,
+            grad_wire: Dtype::Bf16,
+            factor_wire: Dtype::Bf16,
+        }
+    }
+
+    /// True iff every stage is f32 (the bitwise-legacy fast path; callers
+    /// use this to skip conversion plumbing entirely).
+    pub fn is_all_f32(self) -> bool {
+        self == PrecisionPolicy::default()
+    }
+
+    /// Dtype of the stage named `field` (the [`STAGES`] spelling).
+    fn get(&self, field: &str) -> Option<Dtype> {
+        Some(match field {
+            "capture" => self.capture,
+            "factor_gram" => self.factor_gram,
+            "factor_ema" => self.factor_ema,
+            "eig" => self.eig,
+            "precond" => self.precond,
+            "grad_wire" => self.grad_wire,
+            "factor_wire" => self.factor_wire,
+            _ => return None,
+        })
+    }
+
+    fn set(&mut self, field: &str, dtype: Dtype) -> bool {
+        match field {
+            "capture" => self.capture = dtype,
+            "factor_gram" => self.factor_gram = dtype,
+            "factor_ema" => self.factor_ema = dtype,
+            "eig" => self.eig = dtype,
+            "precond" => self.precond = dtype,
+            "grad_wire" => self.grad_wire = dtype,
+            "factor_wire" => self.factor_wire = dtype,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Parse a `KFAC_PRECISION` spec: an optional preset (`f32` | `bf16`)
+    /// followed by comma-separated `stage=dtype` overrides, e.g.
+    /// `"bf16"`, `"capture=bf16,grad_wire=f16"`, or
+    /// `"bf16,factor_wire=f32"`. Overrides apply left to right on top of
+    /// the preset (default preset: f32).
+    pub fn parse(spec: &str) -> Result<PrecisionPolicy, ConfigError> {
+        let err = |message: String| ConfigError {
+            knob: "KFAC_PRECISION",
+            message,
+        };
+        let mut policy = PrecisionPolicy::default();
+        for (i, part) in spec.split(',').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => {
+                    if i != 0 {
+                        return Err(err(format!(
+                            "preset {part:?} must come first; overrides use stage=dtype"
+                        )));
+                    }
+                    policy = match part.to_ascii_lowercase().as_str() {
+                        "f32" | "fp32" => PrecisionPolicy::f32(),
+                        "bf16" | "bfloat16" => PrecisionPolicy::bf16(),
+                        _ => {
+                            return Err(err(format!("unknown preset {part:?}; expected f32|bf16")))
+                        }
+                    };
+                }
+                Some((field, value)) => {
+                    let field = field.trim().to_ascii_lowercase();
+                    let dtype = Dtype::parse(value.trim()).ok_or_else(|| {
+                        err(format!(
+                            "{value:?} invalid for {field}; expected f32|bf16|f16"
+                        ))
+                    })?;
+                    if !policy.set(&field, dtype) {
+                        let known: Vec<&str> = STAGES.iter().map(|(n, _)| *n).collect();
+                        return Err(err(format!(
+                            "unknown stage {field:?}; expected one of {}",
+                            known.join("|")
+                        )));
+                    }
+                }
+            }
+        }
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// The `KFAC_PRECISION` env override, if set. `Ok(None)` when unset;
+    /// typed error (not a panic) on a malformed value, mirroring
+    /// [`crate::config::EigenSolver::from_env`].
+    pub fn from_env() -> Result<Option<PrecisionPolicy>, ConfigError> {
+        Self::from_env_spec(std::env::var("KFAC_PRECISION").ok().as_deref())
+    }
+
+    /// Pure parse of the `KFAC_PRECISION` override (testable without
+    /// touching the process environment).
+    pub fn from_env_spec(value: Option<&str>) -> Result<Option<PrecisionPolicy>, ConfigError> {
+        match value {
+            None => Ok(None),
+            Some(s) => PrecisionPolicy::parse(s).map(Some),
+        }
+    }
+
+    /// Check the stage/dtype compatibility table: storage stages must be
+    /// f32 or bf16 (f16's 5-bit exponent overflows on Gram diagonals);
+    /// wire stages may also be f16.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, is_wire) in STAGES {
+            let dtype = self.get(field).expect("table lists only real fields");
+            if dtype == Dtype::F16 && !is_wire {
+                return Err(ConfigError {
+                    knob: "KFAC_PRECISION",
+                    message: format!(
+                        "{field}=f16 unsupported; storage stages are f32|bf16 \
+                         (f16 overflows at 65504, below typical Gram diagonals)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical `stage=dtype,...` spelling (stable telemetry label; the
+    /// inverse of [`PrecisionPolicy::parse`]).
+    pub fn spec_string(&self) -> String {
+        STAGES
+            .iter()
+            .map(|(field, _)| format!("{field}={}", self.get(field).unwrap().name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl std::fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_f32_and_valid() {
+        let p = PrecisionPolicy::default();
+        assert!(p.is_all_f32());
+        p.validate().unwrap();
+        for (field, _) in STAGES {
+            assert_eq!(p.get(field), Some(Dtype::F32));
+        }
+    }
+
+    #[test]
+    fn bf16_preset_sets_every_stage() {
+        let p = PrecisionPolicy::bf16();
+        assert!(!p.is_all_f32());
+        for (field, _) in STAGES {
+            assert_eq!(p.get(field), Some(Dtype::Bf16), "{field}");
+        }
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_preset_and_overrides() {
+        assert_eq!(
+            PrecisionPolicy::parse("f32").unwrap(),
+            PrecisionPolicy::f32()
+        );
+        assert_eq!(
+            PrecisionPolicy::parse("bf16").unwrap(),
+            PrecisionPolicy::bf16()
+        );
+        let p = PrecisionPolicy::parse("capture=bf16,grad_wire=f16").unwrap();
+        assert_eq!(p.capture, Dtype::Bf16);
+        assert_eq!(p.grad_wire, Dtype::F16);
+        assert_eq!(p.factor_gram, Dtype::F32, "untouched stages stay f32");
+        // Preset then override: everything bf16 except the factor wire.
+        let p = PrecisionPolicy::parse("bf16,factor_wire=f32").unwrap();
+        assert_eq!(p.factor_wire, Dtype::F32);
+        assert_eq!(p.capture, Dtype::Bf16);
+        // Whitespace and empty segments are tolerated.
+        let p = PrecisionPolicy::parse(" bf16 , grad_wire = f16 ,").unwrap();
+        assert_eq!(p.grad_wire, Dtype::F16);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in [
+            "int8",
+            "capture=f64",
+            "warp_drive=bf16",
+            "capture=bf16,bf16", // preset after an override
+            "capture=f16",       // f16 on a storage stage
+            "eig=f16",
+        ] {
+            let e = PrecisionPolicy::parse(bad).unwrap_err();
+            assert_eq!(e.knob, "KFAC_PRECISION", "{bad}");
+        }
+        // Wire stages do accept f16.
+        PrecisionPolicy::parse("grad_wire=f16,factor_wire=f16").unwrap();
+    }
+
+    #[test]
+    fn env_spec_round_trips_through_display() {
+        assert_eq!(PrecisionPolicy::from_env_spec(None).unwrap(), None);
+        let p = PrecisionPolicy::parse("bf16,grad_wire=f16").unwrap();
+        let reparsed = PrecisionPolicy::parse(&p.spec_string()).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

@@ -11,7 +11,7 @@
 //! are a measurement baseline, not an API, and keeping them out of the
 //! tensor crate means nothing can accidentally call them.
 
-use kfac_tensor::{Matrix, Rng64};
+use kfac_tensor::{HalfMatrix, Matrix, Rng64};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -30,7 +30,20 @@ pub enum Kind {
     GramNt,
 }
 
-/// One benchmarked shape with packed/legacy timings.
+/// bf16-engine timing for one case, measured paired against the packed
+/// f32 engine (see [`run_all`] for the interleaved-median protocol).
+#[derive(Clone, Copy, Debug)]
+pub struct Bf16Timing {
+    /// Median ns/iter of the bf16-packed f32-accumulate kernel.
+    pub ns: f64,
+    /// Median of the per-rep `f32_ns / bf16_ns` ratios — robust to the
+    /// drift of a shared/noisy box, unlike a ratio of two medians taken
+    /// minutes apart.
+    pub speedup: f64,
+}
+
+/// One benchmarked shape with packed/legacy (and, where the bf16 engine
+/// applies, bf16) timings.
 pub struct BenchCase {
     pub name: &'static str,
     pub kind: Kind,
@@ -41,6 +54,9 @@ pub struct BenchCase {
     pub madds: u64,
     pub packed_ns: f64,
     pub legacy_ns: f64,
+    /// bf16-storage timing; `None` for kinds the bf16 engine does not
+    /// cover (plain / TN matmuls, which no bf16 pipeline stage runs).
+    pub bf16: Option<Bf16Timing>,
 }
 
 impl BenchCase {
@@ -54,6 +70,16 @@ impl BenchCase {
         self.legacy_ns / self.packed_ns
     }
 }
+
+/// The shapes the CI bf16 perf gate is stated over: the two
+/// bias-augmented activation-factor Grams of the deep ResNet-32 stages
+/// plus one convolution forward shape. These are the products the bf16
+/// substrate actually routes in training, and each must hold
+/// [`BF16_GATE_MIN`]×.
+pub const BF16_GATE_CASES: [&str; 3] = ["rn32_afactor_s2", "rn32_afactor_s3", "rn32_conv_s3"];
+
+/// Required bf16-over-f32 speedup on every [`BF16_GATE_CASES`] shape.
+pub const BF16_GATE_MIN: f64 = 1.4;
 
 /// The benchmark suite: ResNet-32/CIFAR layer shapes (batch 8) and the
 /// square 256–1024 shapes the acceptance criteria are stated over.
@@ -110,6 +136,17 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// Paired bf16-vs-f32 repetitions per case. The two engines are timed
+/// back-to-back inside each rep and the per-rep ratio is medianed, so a
+/// frequency step or noisy-neighbor burst mid-suite skews at most two
+/// of the five samples instead of one whole engine's measurement.
+const BF16_REPS: usize = 5;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    v[v.len() / 2]
+}
+
 /// Run the full suite. Each case is timed on the packed engine and on
 /// the legacy kernels with identical inputs.
 pub fn run_all() -> Vec<BenchCase> {
@@ -163,6 +200,41 @@ pub fn run_all() -> Vec<BenchCase> {
                 Kind::GramNt => legacy::gram_nt(&a),
             });
         });
+        // bf16 rows for the kinds the half-width engine covers: Gram
+        // (activation factors), GramNt (gradient factors, via the
+        // full-matrix A·Aᵀ kernel), and MatmulNt (im2col forward).
+        // Interleaved paired reps; see BF16_REPS.
+        let bf16 = match kind {
+            Kind::Gram | Kind::GramNt | Kind::MatmulNt => {
+                let ha = HalfMatrix::from_matrix(&a);
+                let hb = matches!(kind, Kind::MatmulNt).then(|| HalfMatrix::from_matrix(&b));
+                let mut out16 = Matrix::zeros(1, 1);
+                let mut ns16 = Vec::with_capacity(BF16_REPS);
+                let mut ratios = Vec::with_capacity(BF16_REPS);
+                for _ in 0..BF16_REPS {
+                    let t32 = time_ns(|| match kind {
+                        Kind::Gram => a.gram_into(&mut scratch),
+                        Kind::GramNt => a.gram_nt_into(&mut scratch),
+                        Kind::MatmulNt => a.matmul_nt_into(&b, &mut scratch),
+                        _ => unreachable!(),
+                    });
+                    let t16 = time_ns(|| match kind {
+                        Kind::Gram => ha.gram_into(&mut out16),
+                        Kind::GramNt => ha.matmul_nt_into(&ha, &mut out16),
+                        Kind::MatmulNt => ha.matmul_nt_into(hb.as_ref().unwrap(), &mut out16),
+                        _ => unreachable!(),
+                    });
+                    ns16.push(t16);
+                    ratios.push(t32 / t16);
+                }
+                std::hint::black_box(&out16);
+                Some(Bf16Timing {
+                    ns: median(ns16),
+                    speedup: median(ratios),
+                })
+            }
+            Kind::Matmul | Kind::MatmulTn => None,
+        };
         std::hint::black_box(&scratch);
         out.push(BenchCase {
             name,
@@ -173,6 +245,7 @@ pub fn run_all() -> Vec<BenchCase> {
             madds,
             packed_ns,
             legacy_ns,
+            bf16,
         });
     }
     out
@@ -182,16 +255,30 @@ pub fn run_all() -> Vec<BenchCase> {
 pub fn render_table(cases: &[BenchCase]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "{:<18} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>8}\n",
-        "case", "m", "k", "n", "packed ns", "legacy ns", "packed", "legacy", "speedup"
+        "{:<18} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>8} {:>12} {:>9}\n",
+        "case",
+        "m",
+        "k",
+        "n",
+        "packed ns",
+        "legacy ns",
+        "packed",
+        "legacy",
+        "speedup",
+        "bf16 ns",
+        "bf16/f32"
     ));
     s.push_str(&format!(
-        "{:<18} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>8}\n",
-        "", "", "", "", "", "", "GFLOP/s", "GFLOP/s", ""
+        "{:<18} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>9} {:>8} {:>12} {:>9}\n",
+        "", "", "", "", "", "", "GFLOP/s", "GFLOP/s", "", "", ""
     ));
     for c in cases {
+        let (bf16_ns, bf16_speedup) = match c.bf16 {
+            Some(t) => (format!("{:.0}", t.ns), format!("{:.2}x", t.speedup)),
+            None => ("-".to_string(), "-".to_string()),
+        };
         s.push_str(&format!(
-            "{:<18} {:>6} {:>6} {:>6} {:>12.0} {:>12.0} {:>9.2} {:>9.2} {:>7.2}x\n",
+            "{:<18} {:>6} {:>6} {:>6} {:>12.0} {:>12.0} {:>9.2} {:>9.2} {:>7.2}x {:>12} {:>9}\n",
             c.name,
             c.m,
             c.k,
@@ -200,7 +287,9 @@ pub fn render_table(cases: &[BenchCase]) -> String {
             c.legacy_ns,
             c.packed_gflops(),
             c.legacy_gflops(),
-            c.speedup()
+            c.speedup(),
+            bf16_ns,
+            bf16_speedup
         ));
     }
     s
@@ -210,10 +299,20 @@ pub fn render_table(cases: &[BenchCase]) -> String {
 pub fn to_json(cases: &[BenchCase]) -> String {
     let mut s = String::from("{\n  \"benchmarks\": [\n");
     for (i, c) in cases.iter().enumerate() {
+        let bf16_fields = match c.bf16 {
+            Some(t) => format!(
+                "\"bf16_ns_per_iter\": {:.1}, \"bf16_gflops\": {:.3}, \"bf16_speedup\": {:.3}",
+                t.ns,
+                2.0 * c.madds as f64 / t.ns,
+                t.speedup
+            ),
+            None => "\"bf16_ns_per_iter\": null, \"bf16_gflops\": null, \"bf16_speedup\": null"
+                .to_string(),
+        };
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"kind\": \"{:?}\", \"m\": {}, \"k\": {}, \"n\": {}, \
              \"packed_ns_per_iter\": {:.1}, \"legacy_ns_per_iter\": {:.1}, \
-             \"packed_gflops\": {:.3}, \"legacy_gflops\": {:.3}, \"speedup\": {:.3}}}{}\n",
+             \"packed_gflops\": {:.3}, \"legacy_gflops\": {:.3}, \"speedup\": {:.3}, {}}}{}\n",
             c.name,
             c.kind,
             c.m,
@@ -224,6 +323,7 @@ pub fn to_json(cases: &[BenchCase]) -> String {
             c.packed_gflops(),
             c.legacy_gflops(),
             c.speedup(),
+            bf16_fields,
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }
@@ -236,9 +336,29 @@ pub fn to_json(cases: &[BenchCase]) -> String {
         .iter()
         .map(|c| c.speedup())
         .fold(f64::INFINITY, f64::min);
+    // bf16 perf gate: the minimum paired bf16-over-f32 speedup across
+    // the BF16_GATE_CASES shapes (0.0 when a gate case is missing its
+    // bf16 timing, which fails the CI assertion loudly).
+    let bf16_gate = BF16_GATE_CASES
+        .iter()
+        .map(|name| {
+            cases
+                .iter()
+                .find(|c| c.name == *name)
+                .and_then(|c| c.bf16)
+                .map(|t| t.speedup)
+                .unwrap_or(0.0)
+        })
+        .fold(f64::INFINITY, f64::min);
     s.push_str(&format!(
-        "  \"min_square_speedup\": {:.3},\n  \"pool_threads\": {}\n}}\n",
+        "  \"min_square_speedup\": {:.3},\n  \"min_bf16_gate_speedup\": {:.3},\n  \
+         \"pool_threads\": {}\n}}\n",
         if min.is_finite() { min } else { 0.0 },
+        if bf16_gate.is_finite() {
+            bf16_gate
+        } else {
+            0.0
+        },
         rayon::current_num_threads()
     ));
     s
@@ -389,19 +509,63 @@ mod tests {
 
     #[test]
     fn json_is_well_formed_enough() {
-        let cases = vec![BenchCase {
-            name: "square_gemm_256",
-            kind: Kind::Matmul,
-            m: 256,
-            k: 256,
-            n: 256,
-            madds: 256 * 256 * 256,
-            packed_ns: 1000.0,
-            legacy_ns: 4000.0,
-        }];
+        let cases = vec![
+            BenchCase {
+                name: "square_gemm_256",
+                kind: Kind::Matmul,
+                m: 256,
+                k: 256,
+                n: 256,
+                madds: 256 * 256 * 256,
+                packed_ns: 1000.0,
+                legacy_ns: 4000.0,
+                bf16: None,
+            },
+            BenchCase {
+                name: "rn32_afactor_s2",
+                kind: Kind::Gram,
+                m: 0,
+                k: 2048,
+                n: 289,
+                madds: 1000,
+                packed_ns: 1500.0,
+                legacy_ns: 4500.0,
+                bf16: Some(Bf16Timing {
+                    ns: 1000.0,
+                    speedup: 1.5,
+                }),
+            },
+        ];
         let json = to_json(&cases);
         assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.contains("\"min_square_speedup\": 4.000"));
+        assert!(json.contains("\"bf16_ns_per_iter\": null"));
+        assert!(json.contains("\"bf16_speedup\": 1.500"));
+        // Two of the three gate shapes are absent → the aggregate is the
+        // loud 0.0 failure value, not the present case's 1.5.
+        assert!(json.contains("\"min_bf16_gate_speedup\": 0.000"));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn bf16_gate_aggregate_is_min_over_gate_cases() {
+        let mk = |name: &'static str, speedup: f64| BenchCase {
+            name,
+            kind: Kind::Gram,
+            m: 0,
+            k: 64,
+            n: 64,
+            madds: 1000,
+            packed_ns: 1000.0,
+            legacy_ns: 2000.0,
+            bf16: Some(Bf16Timing { ns: 600.0, speedup }),
+        };
+        let cases: Vec<BenchCase> = BF16_GATE_CASES
+            .iter()
+            .zip([1.9, 1.5, 1.7])
+            .map(|(n, s)| mk(n, s))
+            .collect();
+        let json = to_json(&cases);
+        assert!(json.contains("\"min_bf16_gate_speedup\": 1.500"), "{json}");
     }
 }

@@ -14,6 +14,7 @@
 //! | [`chaos`] | fault matrix — resilient 4-rank training under injected faults |
 //! | [`elastic`] | elastic membership — kill a rank mid-run, shrink, bitwise resume |
 //! | [`randeig`] | randomized vs exact eigensolver — 4-rank CIFAR loss parity |
+//! | [`mixed`] | mixed precision — f32 vs bf16 policy loss parity + wire-byte halving |
 //!
 //! Each driver returns an [`ExperimentOutput`] of markdown tables plus
 //! free-form notes; the `xp` binary prints them and appends to
@@ -26,6 +27,7 @@ pub mod elastic;
 pub mod fig10;
 pub mod fig5;
 pub mod freq;
+pub mod mixed;
 pub mod overlap;
 pub mod randeig;
 pub mod scaling;
@@ -85,6 +87,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "chaos",
     "elastic",
     "randeig",
+    "mixed",
 ];
 
 /// Dispatch one experiment by id.
@@ -106,6 +109,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentOutput> {
         "chaos" => Some(chaos::run(scale)),
         "elastic" => Some(elastic::run(scale)),
         "randeig" => Some(randeig::run(scale)),
+        "mixed" => Some(mixed::run(scale)),
         _ => None,
     }
 }

@@ -23,7 +23,7 @@
 //! the dependencies do permit never race.
 
 use kfac::Kfac;
-use kfac_collectives::{Communicator, ReduceOp, TrafficClass};
+use kfac_collectives::{wire, Communicator, ReduceOp, TrafficClass};
 use kfac_exec::{ExecMode, Executor, TaskGraph, TaskId, TaskKind};
 use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
 use kfac_optim::{Optimizer, Sgd};
@@ -118,6 +118,13 @@ pub fn overlap_iteration(
 ) -> f32 {
     let world = comm.size();
     let rank = comm.rank();
+    // Wire dtypes from the preconditioner's precision policy (f32 — the
+    // bitwise-legacy passthrough — when no K-FAC or policy is default).
+    // The sequential path reads the same policy, so overlap-vs-sequential
+    // bitwise identity holds per wire dtype, not just for f32.
+    let precision = kfac.as_ref().map(|k| k.precision()).unwrap_or_default();
+    let grad_wire = precision.grad_wire;
+    let factor_wire = precision.factor_wire;
 
     // Gradient buckets: one per parameterized top-level child, flattened
     // in visit_params order. (counts[c] == 0 children — activations,
@@ -216,7 +223,14 @@ pub fn overlap_iteration(
         grad_comms.push(g.add(TaskKind::GradAllreduce(b), &[exts[b]], move |_| {
             let mut buf = bucket_bufs[b].lock();
             if world > 1 {
-                comm.allreduce_tagged(&mut buf, ReduceOp::Average, TrafficClass::Gradient);
+                wire::try_allreduce_half(
+                    comm,
+                    &mut buf,
+                    ReduceOp::Average,
+                    TrafficClass::Gradient,
+                    grad_wire,
+                )
+                .expect("gradient allreduce");
             }
         }));
     }
@@ -263,7 +277,14 @@ pub fn overlap_iteration(
                 let _span = Span::enter("kfac/factor_comm");
                 if world > 1 {
                     let mut fused = k.factor_pack();
-                    comm.allreduce_tagged(&mut fused, ReduceOp::Average, TrafficClass::Factor);
+                    wire::try_allreduce_half(
+                        comm,
+                        &mut fused,
+                        ReduceOp::Average,
+                        TrafficClass::Factor,
+                        factor_wire,
+                    )
+                    .expect("factor allreduce");
                     k.factor_unpack(&fused);
                 }
                 k.note_factor_update();
@@ -287,7 +308,9 @@ pub fn overlap_iteration(
                 let _span = Span::enter("kfac/eig_comm");
                 if world > 1 {
                     let payload = k.eig_local_payload(assignment, rank);
-                    let gathered = comm.allgather_tagged(&payload, TrafficClass::Eigen);
+                    let gathered =
+                        wire::try_allgather_half(comm, &payload, TrafficClass::Eigen, factor_wire)
+                            .expect("eigen allgather");
                     k.eig_apply_gathered(assignment, rank, &gathered);
                 }
                 k.note_eig_update();

@@ -15,9 +15,10 @@ use kfac_collectives::{
     TrafficClass,
 };
 use kfac_data::{batch_of, Dataset, ShardedSampler};
-use kfac_nn::{layer::Mode, CrossEntropyLoss, Layer, Sequential};
+use kfac_nn::{layer::Mode, CrossEntropyLoss, KfacEligible, Layer, Sequential};
 use kfac_optim::{LrSchedule, Optimizer, Sgd};
 use kfac_telemetry::{Registry, Span};
+use kfac_tensor::Dtype;
 use std::time::Instant;
 
 /// Full configuration of one training run.
@@ -91,6 +92,15 @@ impl TrainConfig {
     pub fn with_kfac(mut self, mut cfg: KfacConfig) -> Self {
         match kfac::EigenSolver::from_env() {
             Ok(Some(solver)) => cfg.eigen_solver = solver,
+            Ok(None) => {}
+            Err(e) => panic!("{e}"),
+        }
+        // Same contract for the mixed-precision policy: `KFAC_PRECISION`
+        // (a preset and/or `stage=dtype` overrides) rebinds the per-stage
+        // dtypes of any experiment without a rebuild. Unset keeps the
+        // configured policy (f32 everywhere by default — bitwise legacy).
+        match kfac::PrecisionPolicy::from_env() {
+            Ok(Some(policy)) => cfg.precision = policy,
             Ok(None) => {}
             Err(e) => panic!("{e}"),
         }
@@ -169,12 +179,17 @@ pub fn allreduce_gradients_fused(
     model: &mut dyn Layer,
     comm: &dyn Communicator,
     threshold_bytes: Option<usize>,
+    wire_dtype: Dtype,
 ) {
     if comm.size() == 1 {
         return;
     }
+    // `wire_dtype` selects the wire width of each fused message
+    // (`PrecisionPolicy::grad_wire`); `Dtype::F32` is the plain tagged
+    // allreduce, bit-for-bit.
     let mut fb =
-        FusionBuffer::with_configured(threshold_bytes, ReduceOp::Average, TrafficClass::Gradient);
+        FusionBuffer::with_configured(threshold_bytes, ReduceOp::Average, TrafficClass::Gradient)
+            .with_dtype(wire_dtype);
     let mut next_id = 0usize;
     model.visit_params("", &mut |_, _, g| {
         fb.push(next_id, g.to_vec(), comm);
@@ -190,9 +205,10 @@ pub fn allreduce_gradients_fused(
     });
 }
 
-/// [`allreduce_gradients_fused`] at the default/env-resolved threshold.
+/// [`allreduce_gradients_fused`] at the default/env-resolved threshold
+/// and full-width (f32) wire.
 pub fn allreduce_gradients(model: &mut dyn Layer, comm: &dyn Communicator) {
-    allreduce_gradients_fused(model, comm, None);
+    allreduce_gradients_fused(model, comm, None, Dtype::F32);
 }
 
 /// True when every gradient entry is finite — the health gate that
@@ -261,6 +277,37 @@ fn run_rank(
     let mut model = build_model(cfg.seed);
     let mut optimizer = Sgd::new(cfg.momentum, cfg.weight_decay);
     let mut kfac = cfg.kfac.clone().map(|k| Kfac::new(&mut model, k));
+    // Resolve the mixed-precision policy once per run. Gradients travel
+    // at `grad_wire` width; capture storage goes bf16 when either the
+    // capture or the factor-Gram stage asks for it (the bf16 Gram
+    // kernels consume bf16-encoded captures, so the two knobs share the
+    // storage format). The all-f32 default skips every conversion.
+    let precision = cfg.kfac.as_ref().map(|k| k.precision).unwrap_or_default();
+    let grad_wire = precision.grad_wire;
+    if precision.capture == Dtype::Bf16 || precision.factor_gram == Dtype::Bf16 {
+        let mut layers: Vec<&mut dyn KfacEligible> = Vec::new();
+        model.collect_kfac(&mut layers);
+        for layer in &mut layers {
+            layer.set_capture_dtype(Dtype::Bf16);
+        }
+    }
+    if !precision.is_all_f32() {
+        // Policy gauges for the live metrics plane: one per stage, value
+        // = storage/wire width in bits (32 or 16).
+        for (stage, dtype) in [
+            ("capture", precision.capture),
+            ("factor_gram", precision.factor_gram),
+            ("factor_ema", precision.factor_ema),
+            ("eig", precision.eig),
+            ("precond", precision.precond),
+            ("grad_wire", precision.grad_wire),
+            ("factor_wire", precision.factor_wire),
+        ] {
+            registry
+                .gauge(&format!("kfac/precision/{stage}_bits"))
+                .set((dtype.size_of() * 8) as f64);
+        }
+    }
     let criterion = CrossEntropyLoss::with_smoothing(cfg.label_smoothing);
     let sampler = ShardedSampler::new(
         train_ds.len(),
@@ -338,7 +385,7 @@ fn run_rank(
 
             {
                 let _span = Span::enter("train/grad_allreduce");
-                allreduce_gradients_fused(&mut model, comm, cfg.fusion_threshold_bytes);
+                allreduce_gradients_fused(&mut model, comm, cfg.fusion_threshold_bytes, grad_wire);
             }
             // Health gate: a non-finite loss or gradient (overflow,
             // data corruption) skips the K-FAC and optimizer updates

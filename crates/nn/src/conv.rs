@@ -154,7 +154,7 @@ impl Layer for Conv2d {
             if self.capture.enabled {
                 // Bias-augmented patch matrix for the activation factor.
                 self.capture.store_a_augmented(&cols, self.bias.is_some());
-                self.capture.g = None;
+                self.capture.clear_g();
             }
             self.cols = Some(cols);
             self.in_shape = Some((n, c, h, w));
@@ -267,19 +267,11 @@ impl KfacEligible for Conv2d {
     }
 
     fn compute_factors(&self) -> (Matrix, Matrix) {
-        let a = self.capture.a.as_ref().expect("activation not captured");
-        let g = self.capture.g.as_ref().expect("gradient not captured");
-        let m = a.rows() as f32;
-        // Arena-backed factor scratch: the preconditioner recycles these
-        // after folding them into the running averages, so steady-state
-        // factor updates allocate nothing.
-        let mut fa = arena::take_matrix(a.cols(), a.cols());
-        a.gram_into(&mut fa);
-        fa.scale(1.0 / m);
-        let mut fg = arena::take_matrix(g.cols(), g.cols());
-        g.gram_into(&mut fg);
-        fg.scale(1.0 / m);
-        (fa, fg)
+        self.capture.factors()
+    }
+
+    fn set_capture_dtype(&mut self, dtype: kfac_tensor::Dtype) {
+        self.capture.dtype = dtype;
     }
 
     fn grad_matrix(&self) -> Matrix {

@@ -14,7 +14,7 @@
 //! unsupported layers are ignored by the K-FAC preconditioner and updated
 //! normally using the user's choice of optimizer."
 
-use kfac_tensor::{Matrix, Tensor4};
+use kfac_tensor::{Dtype, HalfMatrix, Matrix, Tensor4};
 
 /// Whether the network is training (batch statistics, capture allowed) or
 /// evaluating (running statistics, no capture).
@@ -128,37 +128,78 @@ pub trait KfacEligible {
         let (a, g) = self.factor_dims();
         a * g
     }
+
+    /// Select the capture storage dtype. [`Dtype::Bf16`] halves capture
+    /// bytes (for conv layers the capture of the im2col patch matrix IS
+    /// the half-width scratch) and routes the factor Grams through the
+    /// bf16-packed f32-accumulate GEMM. The default implementation
+    /// ignores the request, so custom `KfacEligible` impls stay f32.
+    fn set_capture_dtype(&mut self, _dtype: Dtype) {}
 }
 
 /// Storage for one captured-iteration pair used by `Linear`/`Conv2d`.
+///
+/// With `dtype == Dtype::Bf16` the captured rows live in [`HalfMatrix`]
+/// storage (`a16`/`g16`) at half the bytes; the f32 slots stay empty and
+/// `compute_factors` runs the bf16 Gram kernels instead. The f32 path is
+/// untouched by the dtype plumbing (bitwise-identical default).
 #[derive(Debug, Default)]
 pub struct Capture {
     /// Whether capture is currently enabled.
     pub enabled: bool,
-    /// Bias-augmented activation rows `ā` (m × dim_A).
+    /// Capture storage width (f32 default, bf16 opt-in).
+    pub dtype: Dtype,
+    /// Bias-augmented activation rows `ā` (m × dim_A), f32 storage.
     pub a: Option<Matrix>,
     /// Output-gradient rows `ĝ` (m × dim_G), mean-loss scaling already
-    /// undone (multiplied by batch size).
+    /// undone (multiplied by batch size), f32 storage.
     pub g: Option<Matrix>,
+    /// bf16 activation capture (used when `dtype == Bf16`).
+    pub a16: Option<HalfMatrix>,
+    /// bf16 gradient capture (used when `dtype == Bf16`).
+    pub g16: Option<HalfMatrix>,
 }
 
 impl Capture {
-    /// Both halves captured?
+    /// Both halves captured (in whichever storage width)?
     pub fn complete(&self) -> bool {
-        self.a.is_some() && self.g.is_some()
+        (self.a.is_some() || self.a16.is_some()) && (self.g.is_some() || self.g16.is_some())
     }
 
-    /// Drop stale captures (called when capture is re-enabled).
+    /// Drop stale captures (called when capture is re-enabled),
+    /// returning bf16 storage to the arena's pool.
     pub fn clear(&mut self) {
         self.a = None;
         self.g = None;
+        if let Some(h) = self.a16.take() {
+            h.recycle();
+        }
+        if let Some(h) = self.g16.take() {
+            h.recycle();
+        }
+    }
+
+    /// Drop only the gradient half (a forward pass invalidates the
+    /// previous iteration's `g` but keeps its own fresh `a`).
+    pub fn clear_g(&mut self) {
+        self.g = None;
+        if let Some(h) = self.g16.take() {
+            h.recycle();
+        }
     }
 
     /// Stash the activation rows, appending a homogeneous `1` column when
     /// `bias` is set (the bias-folding trick of §II-C). Reuses the
-    /// previous capture's allocation, so steady-state capture iterations
-    /// allocate nothing.
+    /// previous capture's allocation (f32 buffer or pooled u16 storage),
+    /// so steady-state capture iterations allocate nothing.
     pub fn store_a_augmented(&mut self, x: &Matrix, bias: bool) {
+        if self.dtype == Dtype::Bf16 {
+            if let Some(h) = self.a16.take() {
+                h.recycle();
+            }
+            self.a16 = Some(HalfMatrix::from_augmented(x, bias));
+            return;
+        }
         let extra = usize::from(bias);
         let mut a = self.a.take().unwrap_or_else(|| Matrix::zeros(0, 0));
         a.reset_for(x.rows(), x.cols() + extra);
@@ -176,12 +217,49 @@ impl Capture {
     /// undoing the mean-loss 1/batch). Reuses the previous capture's
     /// allocation.
     pub fn store_g_scaled(&mut self, gy: &Matrix, scale: f32) {
+        if self.dtype == Dtype::Bf16 {
+            if let Some(h) = self.g16.take() {
+                h.recycle();
+            }
+            self.g16 = Some(HalfMatrix::from_scaled(gy, scale));
+            return;
+        }
         let mut g = self.g.take().unwrap_or_else(|| Matrix::zeros(0, 0));
         g.reset_for(gy.rows(), gy.cols());
         for (d, &s) in g.as_mut_slice().iter_mut().zip(gy.as_slice()) {
             *d = s * scale;
         }
         self.g = Some(g);
+    }
+
+    /// The factors `(A, G) = (āᵀā/m, ĝᵀĝ/m)` from whichever storage
+    /// holds the capture — the shared implementation behind
+    /// `Linear`/`Conv2d::compute_factors`. The bf16 path runs the
+    /// bf16-packed f32-accumulate Gram kernels.
+    pub fn factors(&self) -> (Matrix, Matrix) {
+        use kfac_tensor::arena;
+        if let (Some(a), Some(g)) = (&self.a16, &self.g16) {
+            let m = a.rows() as f32;
+            let mut fa = arena::take_matrix(a.cols(), a.cols());
+            a.gram_into(&mut fa);
+            fa.scale(1.0 / m);
+            let mut fg = arena::take_matrix(g.cols(), g.cols());
+            g.gram_into(&mut fg);
+            fg.scale(1.0 / m);
+            return (fa, fg);
+        }
+        let a = self.a.as_ref().expect("activation not captured");
+        let g = self.g.as_ref().expect("gradient not captured");
+        let m = a.rows() as f32;
+        // Arena-backed factor scratch, recycled by the preconditioner
+        // after the running-average fold (see `Kfac::factor_update_layer`).
+        let mut fa = arena::take_matrix(a.cols(), a.cols());
+        a.gram_into(&mut fa);
+        fa.scale(1.0 / m);
+        let mut fg = arena::take_matrix(g.cols(), g.cols());
+        g.gram_into(&mut fg);
+        fg.scale(1.0 / m);
+        (fa, fg)
     }
 }
 

@@ -125,7 +125,7 @@ impl Layer for Linear {
                 // ā: bias-augmented activations (the homogeneous-coordinate
                 // trick that folds b into W, §II-C).
                 self.capture.store_a_augmented(&x, self.bias.is_some());
-                self.capture.g = None;
+                self.capture.clear_g();
             }
             self.input = Some(x);
         } else {
@@ -228,18 +228,11 @@ impl KfacEligible for Linear {
     }
 
     fn compute_factors(&self) -> (Matrix, Matrix) {
-        let a = self.capture.a.as_ref().expect("activation not captured");
-        let g = self.capture.g.as_ref().expect("gradient not captured");
-        let m = a.rows() as f32;
-        // Arena-backed factor scratch, recycled by the preconditioner
-        // after the running-average fold (see `Kfac::factor_update_layer`).
-        let mut fa = arena::take_matrix(a.cols(), a.cols());
-        a.gram_into(&mut fa);
-        fa.scale(1.0 / m);
-        let mut fg = arena::take_matrix(g.cols(), g.cols());
-        g.gram_into(&mut fg);
-        fg.scale(1.0 / m);
-        (fa, fg)
+        self.capture.factors()
+    }
+
+    fn set_capture_dtype(&mut self, dtype: kfac_tensor::Dtype) {
+        self.capture.dtype = dtype;
     }
 
     fn grad_matrix(&self) -> Matrix {
@@ -324,6 +317,48 @@ mod tests {
         assert!((g[(1, 1)] - 4.0).abs() < 1e-6);
         assert!(g[(0, 1)].abs() < 1e-6);
         let _ = y;
+    }
+
+    #[test]
+    fn bf16_capture_factors_match_f32_within_tolerance() {
+        let mut rng = Rng64::new(21);
+        let mut l = Linear::new("fc", 6, 4, true, &mut rng);
+        let x = crate::testutil::random_tensor((8, 6, 1, 1), &mut rng);
+        let gy = crate::testutil::random_tensor((8, 4, 1, 1), &mut rng);
+
+        l.set_capture(true);
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&gy);
+        let (a32, g32) = l.compute_factors();
+
+        l.set_capture_dtype(kfac_tensor::Dtype::Bf16);
+        l.set_capture(true);
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&gy);
+        assert!(l.has_capture(), "bf16 capture completes");
+        assert!(
+            l.capture.a16.is_some() && l.capture.a.is_none(),
+            "bf16 storage in use"
+        );
+        let (a16, g16) = l.compute_factors();
+
+        assert_eq!(a32.shape(), a16.shape());
+        assert_eq!(g32.shape(), g16.shape());
+        // One bf16 rounding on each Gram input → ~2/256 relative slack.
+        let scale_a = a32.max_abs().max(1.0);
+        assert!(
+            a16.max_abs_diff(&a32) <= scale_a / 64.0,
+            "{}",
+            a16.max_abs_diff(&a32)
+        );
+        let scale_g = g32.max_abs().max(1.0);
+        assert!(
+            g16.max_abs_diff(&g32) <= scale_g / 64.0,
+            "{}",
+            g16.max_abs_diff(&g32)
+        );
+        // The bias-augmented corner is exactly 1·1·m/m = 1 either way.
+        assert_eq!(a16[(6, 6)], 1.0);
     }
 
     #[test]

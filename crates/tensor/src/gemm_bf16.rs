@@ -1,0 +1,707 @@
+//! Packed, register-tiled GEMM over bf16 storage with f32 accumulation.
+//!
+//! The f32 engine in [`gemm`](crate::gemm) is compute-dense but
+//! bandwidth-bound on the K-FAC factor shapes: a ResNet-32 A-factor Gram
+//! streams a `k × n` activation matrix whose bytes, not FLOPs, set the
+//! wall clock. This engine halves those bytes by keeping the operands in
+//! bf16 words end to end:
+//!
+//! * **Operands stream as bf16, panels compute as f32.** Both packs
+//!   read bf16 words and widen to f32 in registers as they pack (bf16 →
+//!   f32 is exact: `bits << 16`), so the memory the engine *streams* —
+//!   the capture/im2col operands — is half-width, while the L1-resident
+//!   panels the micro-kernel loops over are plain f32. Keeping the
+//!   widen out of the inner loop matters: `vpmovzxwd`/`vpslld` compete
+//!   with the FMAs for ports 0/5, and an in-kernel widen was measured
+//!   ~25% slower on the K-FAC factor shapes.
+//! * **Accumulation is f32 via fused multiply-add.** Unlike the f32
+//!   engine — whose plain mul-then-add keeps bitwise parity with
+//!   machines lacking FMA — this engine is explicitly FMA-based:
+//!   `f32::mul_add` is IEEE-754 correctly rounded, so the scalar path
+//!   is bitwise identical to `vfmaddps` by specification, on any
+//!   hardware. The fused op is also where the speed comes from: one
+//!   issue per multiply-add doubles the arithmetic ceiling the non-FMA
+//!   f32 engine tops out at.
+//! * **Determinism is structural**, exactly as in the f32 engine: one
+//!   task per [`MC`]-row block, ascending `k` walk, compile-time block
+//!   sizes — results are bitwise identical across runs, pool sizes, and
+//!   the scalar/AVX2/AVX-512 paths.
+//!
+//! There is no small-shape fallback: every product goes through the
+//! packed path, so the accumulation order is a function of shape alone.
+
+use crate::arena;
+use crate::half::{bf16_to_f32, HalfMatrix};
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Micro-tile rows (same as the f32 engine).
+pub const MR: usize = 8;
+/// Micro-tile columns: *two* zmm registers per tile row — twice the f32
+/// engine's width. The f32 engine's 8×16 tile issues 9 loads per 8
+/// multiply-adds and its non-FMA kernel is arithmetic-bound anyway; the
+/// fused kernel here retires 2 FMAs/cycle, so the tile must be wide
+/// enough (16 FMAs vs 10 loads per depth step) to keep the FMA ports —
+/// not the load ports — the bottleneck.
+pub const NR: usize = 32;
+/// Depth of a cache block: a `KC × NR` f32-widened B panel is 16 KiB
+/// (L1-resident), same footprint as the f32 engine at half the depth.
+const KC: usize = 128;
+/// Rows per A block and per parallel task (f32-widened A pack:
+/// `MC × KC × 4` = 128 KiB, L2-resident).
+const MC: usize = 64;
+
+/// Storage orientation of a [`Bf16View`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    NoTrans,
+    Trans,
+}
+
+/// A borrowed bf16 matrix operand: `u16` word slice, leading dimension,
+/// logical shape, and orientation — the bf16 twin of
+/// [`gemm::View`](crate::gemm::View).
+#[derive(Clone, Copy)]
+pub struct Bf16View<'a> {
+    data: &'a [u16],
+    ld: usize,
+    op: Op,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> Bf16View<'a> {
+    /// Row-major `rows × cols` view over bf16 words.
+    pub fn new(data: &'a [u16], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "bf16 view shape mismatch");
+        Bf16View {
+            data,
+            ld: cols,
+            op: Op::NoTrans,
+            rows,
+            cols,
+        }
+    }
+
+    /// Transposed view: `data` stores `rows × cols` row-major, presented
+    /// as its `cols × rows` transpose.
+    pub fn t(data: &'a [u16], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "bf16 view shape mismatch");
+        Bf16View {
+            data,
+            ld: cols,
+            op: Op::Trans,
+            rows: cols,
+            cols: rows,
+        }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// `out = a · b` with f32 accumulation, writing every element of `out`
+/// exactly once (first-touch). `out.len()` must be `a.rows() * b.cols()`.
+///
+/// # Panics
+/// Panics on inner-dimension or output-length mismatch.
+pub fn gemm_bf16_into(a: Bf16View<'_>, b: Bf16View<'_>, out: &mut [f32]) {
+    gemm_impl(a, b, out, false);
+}
+
+/// Like [`gemm_bf16_into`] for a product known to be symmetric (a Gram
+/// product `XᵀX`): only tiles touching or above the diagonal are
+/// computed, then the strict upper triangle is mirrored onto the lower.
+pub fn gemm_bf16_symmetric_into(a: Bf16View<'_>, b: Bf16View<'_>, out: &mut [f32]) {
+    assert_eq!(a.rows(), b.cols(), "symmetric product must be square");
+    gemm_impl(a, b, out, true);
+    mirror_upper_to_lower(out, a.rows());
+}
+
+impl HalfMatrix {
+    /// Gram product `selfᵀ · self` (the K-FAC factor statistic) into a
+    /// `cols × cols` f32 matrix, bitwise symmetric.
+    pub fn gram_into(&self, out: &mut Matrix) {
+        out.reset_for(self.cols(), self.cols());
+        gemm_bf16_symmetric_into(
+            Bf16View::t(self.data(), self.rows(), self.cols()),
+            Bf16View::new(self.data(), self.rows(), self.cols()),
+            out.as_mut_slice(),
+        );
+    }
+
+    /// `self · otherᵀ` into an f32 matrix (the conv G-factor shape).
+    pub fn matmul_nt_into(&self, other: &HalfMatrix, out: &mut Matrix) {
+        out.reset_for(self.rows(), other.rows());
+        gemm_bf16_into(
+            Bf16View::new(self.data(), self.rows(), self.cols()),
+            Bf16View::t(other.data(), other.rows(), other.cols()),
+            out.as_mut_slice(),
+        );
+    }
+}
+
+fn gemm_impl(a: Bf16View<'_>, b: Bf16View<'_>, out: &mut [f32], upper_only: bool) {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    assert_eq!(
+        k,
+        b.rows(),
+        "bf16 gemm dimension mismatch: {m}x{k} · {}x{n}",
+        b.rows()
+    );
+    assert_eq!(out.len(), m * n, "bf16 gemm output length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+
+    // ---- Pack B once: KC-deep blocks of NR-column panels, widening
+    // bf16 → f32 in registers as they pack. ----
+    let n_pad = n.div_ceil(NR) * NR;
+    let mut bpack = arena::take_f32(k * n_pad);
+    {
+        let bp = &mut bpack[..];
+        let mut base = 0usize;
+        let mut k0 = 0usize;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            pack_b_block(b, k0, kc, n, &mut bp[base..base + kc * n_pad]);
+            base += kc * n_pad;
+            k0 += kc;
+        }
+    }
+
+    // ---- Parallel over MC-row blocks of C; each task owns its rows. ----
+    let bpack_ref = &bpack[..];
+    let run_block = |i0: usize, out_block: &mut [f32]| {
+        let mc = MC.min(m - i0);
+        let mc_pad = mc.div_ceil(MR) * MR;
+        let mut apack = arena::take_f32(mc_pad * KC);
+        let mut base = 0usize;
+        let mut k0 = 0usize;
+        let mut first = true;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            pack_a_block(a, i0, mc, k0, kc, &mut apack[..mc_pad * kc]);
+            let j_start = if upper_only { (i0 / NR) * NR } else { 0 };
+            let mut j0 = j_start;
+            while j0 < n {
+                let nr = NR.min(n - j0);
+                let bpanel = &bpack_ref[base + j0 * kc..base + j0 * kc + kc * NR];
+                let mut ii = 0usize;
+                while ii < mc {
+                    let mr = MR.min(mc - ii);
+                    let apanel = &apack[ii * kc..ii * kc + kc * MR];
+                    micro_kernel(kc, apanel, bpanel, out_block, ii, n, j0, mr, nr, first);
+                    ii += MR;
+                }
+                j0 += NR;
+            }
+            base += kc * n_pad;
+            k0 += kc;
+            first = false;
+        }
+        arena::recycle_f32(apack);
+    };
+
+    if m > MC && rayon::current_num_threads() > 1 {
+        out.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(t, out_block)| run_block(t * MC, out_block));
+    } else {
+        for (t, out_block) in out.chunks_mut(MC * n).enumerate() {
+            run_block(t * MC, out_block);
+        }
+    }
+    arena::recycle_f32(bpack);
+}
+
+/// Pack rows `k0..k0+kc` of `b` into NR-column panels, widening
+/// bf16 → f32 element-wise (exact) so the micro-kernel streams plain
+/// f32 loads; zero-padded past `n`.
+fn pack_b_block(b: Bf16View<'_>, k0: usize, kc: usize, n: usize, dst: &mut [f32]) {
+    let mut panel_base = 0usize;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let nr = NR.min(n - j0);
+        let panel = &mut dst[panel_base..panel_base + kc * NR];
+        match b.op {
+            Op::NoTrans => {
+                for p in 0..kc {
+                    let src_row = &b.data[(k0 + p) * b.ld + j0..(k0 + p) * b.ld + j0 + nr];
+                    let d = &mut panel[p * NR..p * NR + NR];
+                    for (x, &v) in d[..nr].iter_mut().zip(src_row) {
+                        *x = bf16_to_f32(v);
+                    }
+                    d[nr..].fill(0.0);
+                }
+            }
+            Op::Trans => {
+                for (jj, col) in (j0..j0 + nr).enumerate() {
+                    let src = &b.data[col * b.ld + k0..col * b.ld + k0 + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * NR + jj] = bf16_to_f32(v);
+                    }
+                }
+                if nr < NR {
+                    for p in 0..kc {
+                        panel[p * NR + nr..(p + 1) * NR].fill(0.0);
+                    }
+                }
+            }
+        }
+        panel_base += kc * NR;
+        j0 += NR;
+    }
+}
+
+/// Pack rows `i0..i0+mc`, depth `k0..k0+kc` of `a` into MR-row panels,
+/// widening bf16 → f32 at pack time (exact) so the micro-kernel's
+/// broadcast is a plain f32 `set1`.
+fn pack_a_block(a: Bf16View<'_>, i0: usize, mc: usize, k0: usize, kc: usize, dst: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    let mut panel_base = 0usize;
+    let mut ii0 = 0usize;
+    while ii0 < mc {
+        let mr = MR.min(mc - ii0);
+        let panel = &mut dst[panel_base..panel_base + kc * MR];
+        match a.op {
+            Op::NoTrans => {
+                // The interleave here is a strided scatter (stride MR),
+                // which the compiler cannot vectorize and which dominates
+                // the small-`n` conv shapes where one j-panel cannot
+                // amortize it — so full tiles go through an explicit
+                // 8×16 widen-transpose.
+                let mut p_done = 0usize;
+                #[cfg(target_arch = "x86_64")]
+                if mr == MR && avx2 {
+                    let row0 = i0 + ii0;
+                    while p_done + 16 <= kc {
+                        let base = |i: usize| (row0 + i) * a.ld + k0 + p_done;
+                        // SAFETY: avx2 checked; all 8 rows expose 16
+                        // in-bounds words at `base(i)` (p_done+16 ≤ kc).
+                        unsafe {
+                            let rows = [
+                                a.data.as_ptr().add(base(0)),
+                                a.data.as_ptr().add(base(1)),
+                                a.data.as_ptr().add(base(2)),
+                                a.data.as_ptr().add(base(3)),
+                                a.data.as_ptr().add(base(4)),
+                                a.data.as_ptr().add(base(5)),
+                                a.data.as_ptr().add(base(6)),
+                                a.data.as_ptr().add(base(7)),
+                            ];
+                            packsimd::widen_transpose_8x16(
+                                rows,
+                                panel.as_mut_ptr().add(p_done * MR),
+                            );
+                        }
+                        p_done += 16;
+                    }
+                }
+                for (ii, row) in (i0 + ii0..i0 + ii0 + mr).enumerate() {
+                    let src = &a.data[row * a.ld + k0 + p_done..row * a.ld + k0 + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[(p_done + p) * MR + ii] = bf16_to_f32(v);
+                    }
+                }
+                if mr < MR {
+                    for p in 0..kc {
+                        panel[p * MR + mr..(p + 1) * MR].fill(0.0);
+                    }
+                }
+            }
+            Op::Trans => {
+                for p in 0..kc {
+                    let src = &a.data[(k0 + p) * a.ld + i0 + ii0..(k0 + p) * a.ld + i0 + ii0 + mr];
+                    let d = &mut panel[p * MR..p * MR + MR];
+                    for (x, &v) in d[..mr].iter_mut().zip(src) {
+                        *x = bf16_to_f32(v);
+                    }
+                    d[mr..].fill(0.0);
+                }
+            }
+        }
+        panel_base += kc * MR;
+        ii0 += MR;
+    }
+}
+
+/// Register-tile inner kernel: accumulate an `MR × NR` f32 tile over one
+/// KC block, then store (first block) or add (later blocks).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel(
+    kc: usize,
+    apanel: &[f32],
+    bpanel: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    ldc: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    compute_tile(kc, apanel, bpanel, &mut acc);
+    if first {
+        for i in 0..mr {
+            let dst = &mut out[(row0 + i) * ldc + j0..(row0 + i) * ldc + j0 + nr];
+            dst.copy_from_slice(&acc[i][..nr]);
+        }
+    } else {
+        for i in 0..mr {
+            let dst = &mut out[(row0 + i) * ldc + j0..(row0 + i) * ldc + j0 + nr];
+            for (d, &v) in dst.iter_mut().zip(acc[i][..nr].iter()) {
+                *d += v;
+            }
+        }
+    }
+}
+
+/// Accumulate the full tile: `acc[i][j] = fma(A[i,p], B[p,j], ·)` over
+/// ascending `p`, both panels pre-widened to f32.
+///
+/// All paths perform the same correctly-rounded fused multiply-add per
+/// element in the same order — `f32::mul_add` and `vfmaddps` both round
+/// once per IEEE 754 — so scalar, AVX2+FMA, and AVX-512 tiles are
+/// bitwise identical.
+#[inline(always)]
+fn compute_tile(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature checked; panel lengths checked above.
+            unsafe { simd::tile_avx512(kc, apanel, bpanel, acc) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: features checked; panel lengths checked above.
+            unsafe { simd::tile_avx2(kc, apanel, bpanel, acc) };
+            return;
+        }
+    }
+    tile_scalar(kc, apanel, bpanel, acc);
+}
+
+/// Portable fallback tile kernel (and the semantic reference for the
+/// SIMD paths). `mul_add` is a correctly-rounded fused op, matching the
+/// hardware FMA bit for bit (software-emulated where FMA is absent —
+/// slow, but this path only runs on pre-AVX2 hardware).
+fn tile_scalar(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let ap = &apanel[p * MR..p * MR + MR];
+        let bp = &bpanel[p * NR..p * NR + NR];
+        for (acc_row, &a_ip) in acc.iter_mut().zip(ap.iter()) {
+            for (c, &b_pj) in acc_row.iter_mut().zip(bp.iter()) {
+                *c = a_ip.mul_add(b_pj, *c);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod packsimd {
+    //! SIMD widen-transpose for the A-pack's row→panel interleave.
+    //! Pure data movement (bf16 → f32 widening is exact), so it changes
+    //! nothing about results — only how fast the panel is produced.
+    use super::MR;
+    use std::arch::x86_64::*;
+
+    /// Widen 16 bf16 words from each of 8 row pointers and store them
+    /// transposed into panel layout `dst[p * MR + i]`, `p ∈ 0..16`.
+    ///
+    /// # Safety
+    /// Requires AVX2; every `rows[i]` must expose 16 readable words and
+    /// `dst` must expose `16 * MR` writable f32s.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_transpose_8x16(rows: [*const u16; 8], dst: *mut f32) {
+        let mut lo = [_mm256_setzero_ps(); 8];
+        let mut hi = [_mm256_setzero_ps(); 8];
+        for i in 0..8 {
+            let words = _mm256_loadu_si256(rows[i] as *const __m256i);
+            let wlo = _mm256_castsi256_si128(words);
+            let whi = _mm256_extracti128_si256(words, 1);
+            lo[i] = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(wlo), 16));
+            hi[i] = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(whi), 16));
+        }
+        transpose8_store(lo, dst);
+        transpose8_store(hi, dst.add(8 * MR));
+    }
+
+    /// Classic 8×8 f32 register transpose; column `j` of the input rows
+    /// is stored contiguously at `dst + j * 8`.
+    #[inline(always)]
+    unsafe fn transpose8_store(r: [__m256; 8], dst: *mut f32) {
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let s0 = _mm256_shuffle_ps(t0, t2, 0x44);
+        let s1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+        let s2 = _mm256_shuffle_ps(t1, t3, 0x44);
+        let s3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+        let s4 = _mm256_shuffle_ps(t4, t6, 0x44);
+        let s5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+        let s6 = _mm256_shuffle_ps(t5, t7, 0x44);
+        let s7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+        _mm256_storeu_ps(dst, _mm256_permute2f128_ps(s0, s4, 0x20));
+        _mm256_storeu_ps(dst.add(8), _mm256_permute2f128_ps(s1, s5, 0x20));
+        _mm256_storeu_ps(dst.add(16), _mm256_permute2f128_ps(s2, s6, 0x20));
+        _mm256_storeu_ps(dst.add(24), _mm256_permute2f128_ps(s3, s7, 0x20));
+        _mm256_storeu_ps(dst.add(32), _mm256_permute2f128_ps(s0, s4, 0x31));
+        _mm256_storeu_ps(dst.add(40), _mm256_permute2f128_ps(s1, s5, 0x31));
+        _mm256_storeu_ps(dst.add(48), _mm256_permute2f128_ps(s2, s6, 0x31));
+        _mm256_storeu_ps(dst.add(56), _mm256_permute2f128_ps(s3, s7, 0x31));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    //! Explicit-SIMD tile kernels. Layouts mirror the packing scheme:
+    //! `apanel[p*MR + i]`, `bpanel[p*NR + j]`, both already f32; one B
+    //! row per depth step is loaded contiguously and each A element is
+    //! broadcast against it with a fused multiply-add.
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// Two zmm registers hold an NR-wide tile row; MR rows keep 16 zmm
+    /// accumulators (plus two B registers and the broadcast) live across
+    /// the whole depth loop — 19 of the 32 zmm registers.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tile_avx512(
+        kc: usize,
+        apanel: &[f32],
+        bpanel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut v = [[_mm512_setzero_ps(); 2]; MR];
+        for p in 0..kc {
+            let b0 = _mm512_loadu_ps(bpanel.as_ptr().add(p * NR));
+            let b1 = _mm512_loadu_ps(bpanel.as_ptr().add(p * NR + 16));
+            for (i, vi) in v.iter_mut().enumerate() {
+                let a = _mm512_set1_ps(*apanel.get_unchecked(p * MR + i));
+                vi[0] = _mm512_fmadd_ps(a, b0, vi[0]);
+                vi[1] = _mm512_fmadd_ps(a, b1, vi[1]);
+            }
+        }
+        for (row, vi) in acc.iter_mut().zip(v.iter()) {
+            _mm512_storeu_ps(row.as_mut_ptr(), vi[0]);
+            _mm512_storeu_ps(row.as_mut_ptr().add(16), vi[1]);
+        }
+    }
+
+    /// 8-lane variant: a tile row is four ymm registers, processed in
+    /// 2-row quarters (8 accumulators + 4 B registers + the broadcast)
+    /// to stay within 16 ymm registers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn tile_avx2(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+        const QUARTER: usize = MR / 4;
+        for h in 0..4 {
+            let r0 = h * QUARTER;
+            let mut v = [[_mm256_setzero_ps(); 4]; QUARTER];
+            for p in 0..kc {
+                let b = [
+                    _mm256_loadu_ps(bpanel.as_ptr().add(p * NR)),
+                    _mm256_loadu_ps(bpanel.as_ptr().add(p * NR + 8)),
+                    _mm256_loadu_ps(bpanel.as_ptr().add(p * NR + 16)),
+                    _mm256_loadu_ps(bpanel.as_ptr().add(p * NR + 24)),
+                ];
+                for (i, vi) in v.iter_mut().enumerate() {
+                    let a = _mm256_set1_ps(*apanel.get_unchecked(p * MR + r0 + i));
+                    for (acc_q, &bq) in vi.iter_mut().zip(b.iter()) {
+                        *acc_q = _mm256_fmadd_ps(a, bq, *acc_q);
+                    }
+                }
+            }
+            for (i, vi) in v.iter().enumerate() {
+                for (q, acc_q) in vi.iter().enumerate() {
+                    _mm256_storeu_ps(acc[r0 + i].as_mut_ptr().add(q * 8), *acc_q);
+                }
+            }
+        }
+    }
+}
+
+/// Copy the strict upper triangle onto the lower one.
+fn mirror_upper_to_lower(out: &mut [f32], n: usize) {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out[j * n + i] = out[i * n + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::half::f32_to_bf16;
+    use crate::rng::Rng64;
+
+    fn random_bf16(len: usize, rng: &mut Rng64) -> Vec<u16> {
+        (0..len).map(|_| f32_to_bf16(rng.normal_f32())).collect()
+    }
+
+    /// f64 reference over the *widened* bf16 values.
+    fn reference(a: &[u16], b: &[u16], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += bf16_to_f32(a[i * k + p]) as f64 * bf16_to_f32(b[p * n + j]) as f64;
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    fn max_diff(x: &[f32], y: &[f32]) -> f32 {
+        x.iter()
+            .zip(y)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    #[test]
+    fn packed_matches_reference_across_shapes() {
+        let mut rng = Rng64::new(21);
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (64, 64, 64),
+            (65, 600, 33),
+            (100, 300, 100),
+        ] {
+            let a = random_bf16(m * k, &mut rng);
+            let b = random_bf16(k * n, &mut rng);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_bf16_into(Bf16View::new(&a, m, k), Bf16View::new(&b, k, n), &mut out);
+            let r = reference(&a, &b, m, k, n);
+            let d = max_diff(&out, &r);
+            assert!(d < 1e-1, "({m},{k},{n}) diff {d}");
+        }
+    }
+
+    #[test]
+    fn transposed_views_match_materialized_transpose() {
+        let mut rng = Rng64::new(22);
+        let (m, k, n) = (70, 130, 90);
+        let at = random_bf16(k * m, &mut rng);
+        let bt = random_bf16(n * k, &mut rng);
+        let mut a = vec![0u16; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let mut b = vec![0u16; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut out_t = vec![f32::NAN; m * n];
+        gemm_bf16_into(Bf16View::t(&at, k, m), Bf16View::t(&bt, n, k), &mut out_t);
+        let mut out_n = vec![f32::NAN; m * n];
+        gemm_bf16_into(Bf16View::new(&a, m, k), Bf16View::new(&b, k, n), &mut out_n);
+        assert_eq!(out_t, out_n, "views must be bitwise path-equal");
+    }
+
+    #[test]
+    fn k_zero_zeroes_output() {
+        let mut out = vec![f32::NAN; 6];
+        gemm_bf16_into(Bf16View::new(&[], 2, 0), Bf16View::new(&[], 0, 3), &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn symmetric_gram_is_bitwise_symmetric() {
+        let mut rng = Rng64::new(23);
+        let (k, n) = (200, 150);
+        let x = random_bf16(k * n, &mut rng);
+        let mut g = vec![f32::NAN; n * n];
+        gemm_bf16_symmetric_into(Bf16View::t(&x, k, n), Bf16View::new(&x, k, n), &mut g);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(g[i * n + j].to_bits(), g[j * n + i].to_bits());
+            }
+        }
+        let mut full = vec![f32::NAN; n * n];
+        gemm_bf16_into(Bf16View::t(&x, k, n), Bf16View::new(&x, k, n), &mut full);
+        assert!(max_diff(&g, &full) < 1e-2);
+    }
+
+    #[test]
+    fn simd_tile_is_bitwise_equal_to_scalar() {
+        let mut rng = Rng64::new(25);
+        let kc = 97;
+        let apanel: Vec<f32> = (0..kc * MR).map(|_| rng.normal_f32()).collect();
+        let bpanel: Vec<f32> = (0..kc * NR).map(|_| rng.normal_f32()).collect();
+        let mut scalar = [[0.0f32; NR]; MR];
+        tile_scalar(kc, &apanel, &bpanel, &mut scalar);
+        let mut dispatched = [[0.0f32; NR]; MR];
+        compute_tile(kc, &apanel, &bpanel, &mut dispatched);
+        for (s, d) in scalar.iter().flatten().zip(dispatched.iter().flatten()) {
+            assert_eq!(s.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let mut rng = Rng64::new(24);
+        let (m, k, n) = (300, 300, 300);
+        let a = random_bf16(m * k, &mut rng);
+        let b = random_bf16(k * n, &mut rng);
+        let mut outs: Vec<Vec<f32>> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            rayon::set_pool_threads(threads);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_bf16_into(Bf16View::new(&a, m, k), Bf16View::new(&b, k, n), &mut out);
+            outs.push(out);
+        }
+        for o in &outs[1..] {
+            assert_eq!(&outs[0], o, "results must be bitwise pool-size independent");
+        }
+    }
+
+    #[test]
+    fn half_matrix_gram_matches_f32_gram_numerically() {
+        let mut rng = Rng64::new(26);
+        let (m, n) = (240, 60);
+        // bf16-representable inputs: the f32 Gram and the bf16 Gram see
+        // the exact same operand values, differing only in accumulation
+        // (fused vs unfused) — so agreement is tight.
+        let data: Vec<f32> = (0..m * n)
+            .map(|_| bf16_to_f32(f32_to_bf16(rng.normal_f32())))
+            .collect();
+        let mf = Matrix::from_vec(m, n, data.clone());
+        let hf = HalfMatrix::from_f32(&data, m, n);
+        let gf = mf.gram();
+        let mut gh = Matrix::zeros(n, n);
+        hf.gram_into(&mut gh);
+        let d = max_diff(gf.as_slice(), gh.as_slice());
+        assert!(d < 1e-2, "bf16 gram deviates from f32 gram by {d}");
+        hf.recycle();
+    }
+}

@@ -1,0 +1,415 @@
+//! Half-precision storage formats: `bf16`/`f16` scalars and matrices.
+//!
+//! The packed GEMM engine is compute-dense but f32-only; the remaining
+//! bottleneck on factor Grams, im2col capture buffers, and collective
+//! payloads is memory bandwidth. This module supplies the storage half
+//! of a bf16-storage / f32-accumulate substrate:
+//!
+//! * [`Dtype`] — the storage/wire format vocabulary shared by the
+//!   precision policies, the fusion buffer, and the traffic accounting
+//!   (every byte count in the stack routes through [`Dtype::size_of`]).
+//! * Scalar conversions: `f32 ↔ bf16` (truncate-with-round-to-nearest-
+//!   even on the top 16 bits; widening is exact, `bits << 16`) and
+//!   `f32 ↔ f16` (IEEE binary16 with RNE, saturating to ±65504 instead
+//!   of overflowing to infinity so wire payloads built from finite
+//!   inputs stay finite).
+//! * [`HalfMatrix`] — a `rows × cols` matrix stored as bf16 words,
+//!   backed by the arena's `u16` pool; the storage type behind bf16
+//!   capture/im2col scratch and the operand type of the bf16 GEMM
+//!   engine in [`gemm_bf16`](crate::gemm_bf16).
+//!
+//! Numerics contract: `bf16_to_f32(f32_to_bf16(x))` is exact for every
+//! bf16-representable value, and within a relative error of `2^-8` for
+//! normal-range inputs (`2^-10` for f16) — pinned by the property suite
+//! in this module and in `tests/`.
+
+use crate::arena;
+use crate::Matrix;
+
+/// Storage / wire element format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dtype {
+    /// IEEE binary32 — the default everywhere; bitwise-identical to the
+    /// pre-mixed-precision stack.
+    #[default]
+    F32,
+    /// bfloat16: f32's exponent range, 8-bit significand.
+    Bf16,
+    /// IEEE binary16: 5-bit exponent, 11-bit significand.
+    F16,
+}
+
+impl Dtype {
+    /// Element size in bytes — the single helper all byte accounting
+    /// (fusion thresholds, traffic counters, wire payload sizing) routes
+    /// through.
+    pub fn size_of(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::Bf16 | Dtype::F16 => 2,
+        }
+    }
+
+    /// Stable lowercase label (metric names, policy parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::Bf16 => "bf16",
+            Dtype::F16 => "f16",
+        }
+    }
+
+    /// Parse the [`Dtype::name`] spelling.
+    pub fn parse(s: &str) -> Option<Dtype> {
+        match s {
+            "f32" => Some(Dtype::F32),
+            "bf16" => Some(Dtype::Bf16),
+            "f16" => Some(Dtype::F16),
+            _ => None,
+        }
+    }
+}
+
+/// `f32 → bf16` with round-to-nearest-even on the dropped 16 bits.
+/// NaNs are quieted (keeping the sign) so a NaN never rounds to
+/// infinity; values within the last half-ULP of `f32::MAX` round to
+/// bf16 infinity, exactly as hardware bf16 conversion does.
+#[inline(always)]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = ((bits >> 16) & 1) + 0x7FFF;
+    ((bits.wrapping_add(round)) >> 16) as u16
+}
+
+/// `bf16 → f32`: exact widening (`bits << 16`).
+#[inline(always)]
+pub fn bf16_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+/// `f32 → f16` (IEEE binary16) with round-to-nearest-even, saturating
+/// to ±65504 on overflow (the ML-standard saturating cast: finite in,
+/// finite out), flushing to signed zero below the smallest subnormal.
+#[inline(always)]
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+    if exp == 255 {
+        // NaN stays NaN; infinity saturates like any other overflow.
+        return if man != 0 {
+            sign | 0x7E00
+        } else {
+            sign | 0x7BFF
+        };
+    }
+    let e = exp - 127 + 15;
+    if e >= 31 {
+        return sign | 0x7BFF; // saturate to max finite
+    }
+    if e <= 0 {
+        if e < -10 {
+            return sign; // underflows even the subnormal range
+        }
+        // Subnormal: shift the 24-bit significand (implicit bit set)
+        // right past the exponent deficit, RNE on the dropped bits.
+        let man = man | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let base = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let round = (rem > half || (rem == half && base & 1 == 1)) as u32;
+        return sign | (base + round) as u16;
+    }
+    // Normal: drop 13 significand bits with RNE; a carry that would
+    // round into the infinity encoding saturates instead.
+    let base = ((e as u32) << 10) | (man >> 13);
+    let rem = man & 0x1FFF;
+    let round = (rem > 0x1000 || (rem == 0x1000 && base & 1 == 1)) as u32;
+    let v = base + round;
+    if v >= 0x7C00 {
+        return sign | 0x7BFF;
+    }
+    sign | v as u16
+}
+
+/// `f16 → f32`: exact widening.
+#[inline(always)]
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+    let bits = if exp == 31 {
+        sign | 0x7F80_0000 | (man << 13)
+    } else if exp == 0 {
+        if man == 0 {
+            sign
+        } else {
+            // Subnormal: renormalize into an f32 exponent.
+            let mut m = man;
+            let mut e = 127 - 15 + 1;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x03FF) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Round every element of `x` through bf16 storage in place — the
+/// "stored at half precision" numerics without changing the container.
+pub fn round_bf16_in_place(x: &mut [f32]) {
+    for v in x {
+        *v = bf16_to_f32(f32_to_bf16(*v));
+    }
+}
+
+/// Encode a slice to bf16 words (RNE), appending onto `dst`.
+pub fn encode_bf16(src: &[f32], dst: &mut Vec<u16>) {
+    dst.reserve(src.len());
+    for &v in src {
+        dst.push(f32_to_bf16(v));
+    }
+}
+
+/// Encode a slice to f16 words (RNE, saturating), appending onto `dst`.
+pub fn encode_f16(src: &[f32], dst: &mut Vec<u16>) {
+    dst.reserve(src.len());
+    for &v in src {
+        dst.push(f32_to_f16(v));
+    }
+}
+
+/// A `rows × cols` row-major matrix stored as bf16 words — half the
+/// bytes of a [`Matrix`], exact to widen. Storage comes from the arena's
+/// `u16` pool; call [`HalfMatrix::recycle`] on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HalfMatrix {
+    data: Vec<u16>,
+    rows: usize,
+    cols: usize,
+}
+
+impl HalfMatrix {
+    /// Round an f32 matrix into bf16 storage (RNE per element).
+    pub fn from_matrix(m: &Matrix) -> HalfMatrix {
+        HalfMatrix::from_f32(m.as_slice(), m.rows(), m.cols())
+    }
+
+    /// Round a row-major f32 slice into bf16 storage.
+    pub fn from_f32(data: &[f32], rows: usize, cols: usize) -> HalfMatrix {
+        assert_eq!(data.len(), rows * cols, "half matrix shape mismatch");
+        let mut buf = arena::take_u16(data.len());
+        for (d, &v) in buf.iter_mut().zip(data) {
+            *d = f32_to_bf16(v);
+        }
+        HalfMatrix {
+            data: buf,
+            rows,
+            cols,
+        }
+    }
+
+    /// Build a bias-augmented bf16 capture of `x`: each row of `x`
+    /// rounded to bf16, with a homogeneous `1` column appended when
+    /// `bias` is set (the §II-C bias-folding trick, at capture width).
+    /// Encodes straight from the f32 source — there is no f32-width
+    /// intermediate, so this IS the half-width capture scratch.
+    pub fn from_augmented(x: &Matrix, bias: bool) -> HalfMatrix {
+        let extra = usize::from(bias);
+        let (rows, cols) = (x.rows(), x.cols() + extra);
+        let mut buf = arena::take_u16(rows * cols);
+        const ONE: u16 = 0x3F80; // f32_to_bf16(1.0)
+        for r in 0..rows {
+            let dst = &mut buf[r * cols..(r + 1) * cols];
+            for (d, &v) in dst.iter_mut().zip(x.row(r)) {
+                *d = f32_to_bf16(v);
+            }
+            if extra == 1 {
+                dst[cols - 1] = ONE;
+            }
+        }
+        HalfMatrix {
+            data: buf,
+            rows,
+            cols,
+        }
+    }
+
+    /// Build a bf16 capture of `x` with every element scaled by `scale`
+    /// before rounding (scale at f32, round once).
+    pub fn from_scaled(x: &Matrix, scale: f32) -> HalfMatrix {
+        let mut buf = arena::take_u16(x.len());
+        for (d, &v) in buf.iter_mut().zip(x.as_slice()) {
+            *d = f32_to_bf16(v * scale);
+        }
+        HalfMatrix {
+            data: buf,
+            rows: x.rows(),
+            cols: x.cols(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw bf16 words, row-major.
+    pub fn data(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Widen back to f32 (exact).
+    pub fn to_matrix(&self) -> Matrix {
+        let mut out = arena::take_matrix(self.rows, self.cols);
+        for (d, &h) in out.as_mut_slice().iter_mut().zip(&self.data) {
+            *d = bf16_to_f32(h);
+        }
+        out
+    }
+
+    /// Return the storage to the arena's `u16` pool.
+    pub fn recycle(self) {
+        arena::recycle_u16(self.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn bf16_round_trip_is_exact_for_representable_values() {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            256.0,
+            -3.140625,
+            6.1035156e-5,
+            3.3895314e38, // max finite bf16
+        ] {
+            let h = f32_to_bf16(v);
+            let back = bf16_to_f32(h);
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} not exact through bf16");
+            // Idempotent: re-rounding an already-representable value is identity.
+            assert_eq!(f32_to_bf16(back), h);
+        }
+    }
+
+    #[test]
+    fn bf16_relative_error_bound_on_normal_range() {
+        let mut rng = Rng64::new(11);
+        for _ in 0..20_000 {
+            let v = rng.normal_f32() * 10f32.powi((rng.next_u64() % 60) as i32 - 30);
+            if !v.is_normal() {
+                continue;
+            }
+            let r = bf16_to_f32(f32_to_bf16(v));
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 1.0 / 256.0, "bf16 rel error {rel} for {v}");
+        }
+    }
+
+    #[test]
+    fn bf16_rne_ties_to_even() {
+        // 1.0 + 2^-9 is exactly halfway between 1.0 and the next bf16;
+        // RNE picks the even significand (1.0).
+        let tie = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_to_f32(f32_to_bf16(tie)), 1.0);
+        // One ULP above the tie rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(bf16_to_f32(f32_to_bf16(above)), f32::from_bits(0x3F81_0000));
+    }
+
+    #[test]
+    fn bf16_edge_cases() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        // A NaN must never round into the infinity encoding.
+        let payload_nan = f32::from_bits(0x7F80_0001);
+        assert!(bf16_to_f32(f32_to_bf16(payload_nan)).is_nan());
+        // Subnormal f32s collapse toward zero without panicking.
+        let sub = f32::from_bits(1);
+        assert!(bf16_to_f32(f32_to_bf16(sub)).abs() <= f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn f16_round_trip_exact_and_bounded() {
+        for v in [0.0f32, -0.0, 1.0, -2.0, 0.25, 65504.0, 6.1035156e-5] {
+            let r = f16_to_f32(f32_to_f16(v));
+            assert_eq!(v.to_bits(), r.to_bits(), "{v} not exact through f16");
+        }
+        let mut rng = Rng64::new(13);
+        for _ in 0..20_000 {
+            let v = rng.normal_f32() * 10f32.powi((rng.next_u64() % 8) as i32 - 3);
+            if !v.is_normal() || v.abs() < 6.2e-5 || v.abs() > 65000.0 {
+                continue;
+            }
+            let r = f16_to_f32(f32_to_f16(v));
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 1.0 / 1024.0, "f16 rel error {rel} for {v}");
+        }
+    }
+
+    #[test]
+    fn f16_saturates_and_handles_subnormals() {
+        assert_eq!(f16_to_f32(f32_to_f16(1e6)), 65504.0);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e6)), -65504.0);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), 65504.0);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Smallest f16 subnormal round-trips exactly.
+        let tiny = 5.9604645e-8;
+        assert_eq!(f16_to_f32(f32_to_f16(tiny)), tiny);
+        // Below half the smallest subnormal flushes to (signed) zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e-9)), 0.0);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e-9)).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn dtype_helpers() {
+        assert_eq!(Dtype::F32.size_of(), 4);
+        assert_eq!(Dtype::Bf16.size_of(), 2);
+        assert_eq!(Dtype::F16.size_of(), 2);
+        for d in [Dtype::F32, Dtype::Bf16, Dtype::F16] {
+            assert_eq!(Dtype::parse(d.name()), Some(d));
+        }
+        assert_eq!(Dtype::parse("f64"), None);
+        assert_eq!(Dtype::default(), Dtype::F32);
+    }
+
+    #[test]
+    fn half_matrix_round_trips_through_arena() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -0.5, 0.25, 100.0]);
+        let h = HalfMatrix::from_matrix(&m);
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 3);
+        let back = h.to_matrix();
+        // All inputs are bf16-representable → exact round trip.
+        assert_eq!(m.as_slice(), back.as_slice());
+        h.recycle();
+        crate::arena::recycle_matrix(back);
+    }
+}

@@ -33,6 +33,8 @@ pub mod arena;
 pub mod cholesky;
 pub mod eigen;
 pub mod gemm;
+pub mod gemm_bf16;
+pub mod half;
 pub mod init;
 pub mod inverse;
 pub mod kron;
@@ -46,6 +48,7 @@ pub mod tridiag;
 
 pub use cholesky::Cholesky;
 pub use eigen::{eigh, EigenDecomposition};
+pub use half::{bf16_to_f32, f16_to_f32, f32_to_bf16, f32_to_f16, Dtype, HalfMatrix};
 pub use inverse::invert;
 pub use kron::{kron, kron_matvec};
 pub use matrix::Matrix;
